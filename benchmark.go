@@ -1,0 +1,173 @@
+package graphalytics
+
+import (
+	"time"
+
+	"graphalytics/internal/core"
+	"graphalytics/internal/datagen"
+	"graphalytics/internal/graph500"
+	"graphalytics/internal/metrics"
+	"graphalytics/internal/platforms"
+	"graphalytics/internal/workload"
+)
+
+// Runner executes benchmark jobs with SLA enforcement, validation and a
+// results database.
+type Runner = core.Runner
+
+// JobSpec is one benchmark job; JobResult one results-database record.
+type (
+	JobSpec   = core.JobSpec
+	JobResult = core.JobResult
+)
+
+// Report is a rendered experiment outcome (one paper figure or table).
+type Report = core.Report
+
+// ResultsDB is the harness's results database.
+type ResultsDB = core.ResultsDB
+
+// Job statuses.
+const (
+	StatusOK          = core.StatusOK
+	StatusSLABreak    = core.StatusSLABreak
+	StatusOOM         = core.StatusOOM
+	StatusFailed      = core.StatusFailed
+	StatusUnsupported = core.StatusUnsupported
+)
+
+// NewRunner returns a validating benchmark runner with the default
+// network model and a fresh results database.
+func NewRunner() *Runner { return core.NewRunner() }
+
+// Dataset is one workload catalog entry.
+type Dataset = workload.Dataset
+
+// Datasets returns the full workload catalog (Tables 3 and 4 of the paper
+// at reproduction scale).
+func Datasets() []Dataset { return workload.Catalog() }
+
+// LoadDataset generates (or returns the cached) graph of a catalog entry.
+func LoadDataset(id string) (*Graph, error) { return workload.Load(id) }
+
+// DatasetClass returns the T-shirt class of a graph on the reproduction's
+// shifted scale.
+func DatasetClass(g *Graph) string { return string(workload.Class(g)) }
+
+// GraphScale returns s(V,E) = log10(|V|+|E|), rounded to one decimal.
+func GraphScale(g *Graph) float64 { return metrics.Scale(g.NumVertices(), g.NumEdges()) }
+
+// SingleMachinePlatforms lists the engines used in single-machine
+// experiments; DistributedPlatforms those used in distributed ones.
+func SingleMachinePlatforms() []string { return append([]string(nil), platforms.SingleMachine...) }
+
+// DistributedPlatforms lists the engines used in distributed experiments.
+func DistributedPlatforms() []string { return append([]string(nil), platforms.DistributedSet...) }
+
+// Experiment wrappers: each regenerates one paper artifact. See
+// DESIGN.md's per-experiment index for the mapping.
+
+// DatasetVariety runs Figure 4 (Tproc of BFS and PR across datasets).
+func DatasetVariety(r *Runner, platformNames []string, threads int) (*Report, error) {
+	return core.DatasetVariety(r, platformNames, threads)
+}
+
+// ThroughputReport derives Figure 5 (EPS/EVPS) from dataset-variety runs.
+func ThroughputReport(db *ResultsDB, platformNames []string) *Report {
+	return core.ThroughputReport(db, platformNames)
+}
+
+// AlgorithmVariety runs Figure 6 (all algorithms on R4 and D300).
+func AlgorithmVariety(r *Runner, platformNames []string, threads int) (*Report, error) {
+	return core.AlgorithmVariety(r, platformNames, threads)
+}
+
+// VerticalScalability runs Figure 7 (Tproc vs. threads).
+func VerticalScalability(r *Runner, platformNames []string, threadSweep []int) (*Report, error) {
+	return core.VerticalScalability(r, platformNames, threadSweep)
+}
+
+// VerticalSpeedupReport derives Table 9 from vertical-scalability runs.
+func VerticalSpeedupReport(db *ResultsDB, platformNames []string) *Report {
+	return core.VerticalSpeedupReport(db, platformNames)
+}
+
+// StrongScaling runs Figure 8 (Tproc vs. machines on D1000).
+func StrongScaling(r *Runner, platformNames []string, machineSweep []int, threads int) (*Report, error) {
+	return core.StrongScaling(r, platformNames, machineSweep, threads)
+}
+
+// WeakPair couples a machine count with its Graph500 dataset.
+type WeakPair = core.WeakPair
+
+// DefaultWeakPairs mirrors the paper's weak-scaling series.
+func DefaultWeakPairs() []WeakPair { return core.DefaultWeakPairs() }
+
+// WeakScaling runs Figure 9 (constant per-machine work).
+func WeakScaling(r *Runner, platformNames []string, pairs []WeakPair, threads int) (*Report, error) {
+	return core.WeakScaling(r, platformNames, pairs, threads)
+}
+
+// StressTest runs Table 10 (smallest failing dataset per platform under a
+// memory budget).
+func StressTest(r *Runner, platformNames []string, threads int, memoryBudget int64) (*Report, error) {
+	return core.StressTest(r, platformNames, threads, memoryBudget)
+}
+
+// Variability runs Table 11 (mean Tproc and coefficient of variation).
+func Variability(r *Runner, singleMachine, distributed []string, n, threads int) (*Report, error) {
+	return core.Variability(r, singleMachine, distributed, n, threads)
+}
+
+// MakespanBreakdown runs Table 8 (Tproc vs. makespan).
+func MakespanBreakdown(r *Runner, platformNames []string, threads int) (*Report, error) {
+	return core.MakespanBreakdown(r, platformNames, threads)
+}
+
+// DataGeneration runs Figure 10 (Datagen old vs. new flow and worker
+// scalability).
+func DataGeneration(scaleFactors []float64, workers []int, edgesPerUnit int) (*Report, error) {
+	return core.DataGeneration(scaleFactors, workers, edgesPerUnit)
+}
+
+// Generator facades.
+
+// DatagenConfig parameterizes the social-network generator.
+type DatagenConfig = datagen.Config
+
+// DatagenResult is a generated social network with generation statistics.
+type DatagenResult = datagen.Result
+
+// Datagen flows (Figure 10 compares them).
+const (
+	DatagenFlowNew = datagen.FlowNew
+	DatagenFlowOld = datagen.FlowOld
+)
+
+// GenerateSocialNetwork runs the LDBC Datagen reimplementation.
+func GenerateSocialNetwork(cfg DatagenConfig) (*DatagenResult, error) { return datagen.Generate(cfg) }
+
+// Graph500Config parameterizes the Kronecker generator.
+type Graph500Config = graph500.Config
+
+// GenerateGraph500 runs the Graph500 R-MAT generator.
+func GenerateGraph500(cfg Graph500Config) (*Graph, error) { return graph500.Generate(cfg) }
+
+// RenewClassL re-derives the benchmark's reference class: the largest
+// class whose graphs all complete BFS within the budget on the given
+// single-machine platform (the renewal process of Section 2.4).
+func RenewClassL(platformName string, threads int, budget time.Duration) (string, error) {
+	timer := func(g *Graph, source int64) (time.Duration, error) {
+		res, err := RunWithTimeout(platformName, g, BFS, Params{Source: source},
+			RunConfig{Threads: threads, Machines: 1}, budget*10)
+		if err != nil {
+			return 0, err
+		}
+		return res.ProcessingTime, nil
+	}
+	out, err := workload.RenewClassL(timer, budget)
+	if err != nil {
+		return "", err
+	}
+	return string(out.ClassL), nil
+}

@@ -1,0 +1,47 @@
+// Command granula-report renders a Granula performance archive (as
+// written by `graphalytics run -archive <path>`) in the human-readable
+// tree form of the Granula visualizer, and validates it against the
+// standard platform performance model.
+//
+// Usage:
+//
+//	granula-report archive.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphalytics/internal/granula"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: granula-report <archive.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "granula-report:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	a, err := granula.ReadArchive(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "granula-report:", err)
+		os.Exit(1)
+	}
+	if err := granula.Render(os.Stdout, a); err != nil {
+		fmt.Fprintln(os.Stderr, "granula-report:", err)
+		os.Exit(1)
+	}
+	model := granula.StandardModel(a.Platform)
+	if err := model.Validate(a); err != nil {
+		fmt.Printf("model validation: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("archive conforms to the standard platform performance model")
+	for metric, d := range model.Derive(a) {
+		fmt.Printf("derived metric %s = %v\n", metric, d)
+	}
+}

@@ -1,0 +1,373 @@
+// Command graphalytics is the benchmark CLI: it lists platforms and
+// datasets, runs single jobs, runs the paper's experiment suites, and
+// writes Granula archives and results databases.
+//
+// Usage:
+//
+//	graphalytics list                         # platforms, datasets, survey
+//	graphalytics run -platform native -dataset D300 -algorithm BFS
+//	graphalytics suite -id fig4               # run one experiment suite
+//	graphalytics suite -id all -out results.jsonl
+//	graphalytics renewal -budget 2s           # re-derive class L
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graphalytics"
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/core"
+	"graphalytics/internal/granula"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/validation"
+	"graphalytics/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "suite":
+		err = cmdSuite(os.Args[2:])
+	case "renewal":
+		err = cmdRenewal(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphalytics:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|suite|renewal> [flags]
+  list                      print platforms, datasets and the workload survey
+  run     -platform -dataset -algorithm [-threads -machines -archive]
+  suite   -id <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table8|table9|table10|table11|all> [-out results.jsonl]
+  renewal -budget <duration> [-platform native]
+  validate -algorithm <name> -got <file> -want <file>
+  bench   -description <file.json> [-out results.jsonl]`)
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Platforms (engine -> paper system):")
+	for _, name := range graphalytics.Platforms() {
+		p, err := graphalytics.PlatformByName(name)
+		if err != nil {
+			return err
+		}
+		kind := "single-machine"
+		if p.Distributed() {
+			kind = "distributed"
+		}
+		fmt.Printf("  %-9s -> %-12s %-14s %s\n", name, graphalytics.PaperName(name), kind, p.Description())
+	}
+	fmt.Println("\nDatasets:")
+	for _, d := range graphalytics.Datasets() {
+		g, err := graphalytics.LoadDataset(d.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s %-22s |V|=%-8d |E|=%-9d scale=%.1f class=%-3s %s\n",
+			d.ID, g.Name(), g.NumVertices(), g.NumEdges(),
+			graphalytics.GraphScale(g), graphalytics.DatasetClass(g), d.Domain)
+	}
+	fmt.Println("\nWorkload selection survey (Table 1):")
+	for _, row := range workload.Survey() {
+		kind := "unweighted"
+		if row.Weighted {
+			kind = "weighted"
+		}
+		fmt.Printf("  %-10s %-18s %3d articles (%.1f%%)  selected: %s\n",
+			kind, row.Class, row.Count, row.Percent, orDash(row.Selected))
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	platformName := fs.String("platform", "native", "engine to run on")
+	dataset := fs.String("dataset", "D300", "dataset ID from the catalog")
+	algorithm := fs.String("algorithm", "BFS", "one of BFS PR WCC CDLP LCC SSSP")
+	threads := fs.Int("threads", 4, "threads per machine")
+	machines := fs.Int("machines", 1, "simulated machines")
+	sla := fs.Duration("sla", time.Minute, "makespan budget")
+	archivePath := fs.String("archive", "", "write the Granula archive JSON to this path")
+	outputPath := fs.String("output", "", "write the per-vertex output in the Graphalytics output format")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := graphalytics.LoadDataset(*dataset)
+	if err != nil {
+		return err
+	}
+	d, err := workload.ByID(*dataset)
+	if err != nil {
+		return err
+	}
+	pl, err := platform.Get(*platformName)
+	if err != nil {
+		return err
+	}
+	up, err := pl.Upload(g, platform.RunConfig{Threads: *threads, Machines: *machines, Net: cluster.DefaultNetwork()})
+	if err != nil {
+		return err
+	}
+	defer up.Free()
+	ctx, cancel := context.WithTimeout(context.Background(), *sla)
+	defer cancel()
+	res, err := pl.Execute(ctx, up, algorithms.Algorithm(*algorithm), d.Params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s/%s: Tproc=%v makespan=%v rounds=%d network=%v\n",
+		*algorithm, *platformName, *dataset, res.ProcessingTime, res.Makespan, res.Rounds, res.NetworkTime)
+	if err := granula.Render(os.Stdout, res.Archive); err != nil {
+		return err
+	}
+	if *archivePath != "" {
+		f, err := os.Create(*archivePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Archive.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("archive written to", *archivePath)
+	}
+
+	if *outputPath != "" {
+		f, err := os.Create(*outputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := algorithms.WriteOutput(f, g.IDs(), res.Output); err != nil {
+			return err
+		}
+		fmt.Println("output written to", *outputPath)
+	}
+
+	want, err := graphalytics.Reference(g, algorithms.Algorithm(*algorithm), d.Params)
+	if err != nil {
+		return err
+	}
+	rep := graphalytics.Validate(res.Output, want, g)
+	if !rep.OK {
+		return fmt.Errorf("output validation failed: %v", rep.Error())
+	}
+	fmt.Println("output validated against the reference implementation")
+	return nil
+}
+
+// cmdBench executes a JSON benchmark description end to end (component 1
+// of the architecture: the declarative input the harness processes).
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	descPath := fs.String("description", "", "benchmark description JSON file")
+	out := fs.String("out", "", "write the results database (JSON lines) to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *descPath == "" {
+		return fmt.Errorf("bench: -description is required")
+	}
+	d, err := core.LoadDescription(*descPath)
+	if err != nil {
+		return err
+	}
+	r := graphalytics.NewRunner()
+	results, err := core.RunDescription(r, d)
+	if err != nil {
+		return err
+	}
+	ok := 0
+	for _, res := range results {
+		if res.Completed() {
+			ok++
+		}
+		fmt.Printf("%-9s %-10s %-5s %-12s Tproc=%v\n",
+			res.Spec.Platform, res.Spec.Dataset, res.Spec.Algorithm, res.Status, res.ProcessingTime)
+	}
+	fmt.Printf("%d/%d jobs completed\n", ok, len(results))
+	rep := core.AnalysisReport(r.DB)
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := r.DB.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("%d results written to %s\n", r.DB.Len(), *out)
+	}
+	return nil
+}
+
+// cmdValidate compares two output files (e.g. a platform's output against
+// a published reference output) under the benchmark's equivalence rules.
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	algorithm := fs.String("algorithm", "BFS", "algorithm the outputs belong to")
+	gotPath := fs.String("got", "", "output file to check")
+	wantPath := fs.String("want", "", "reference output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	read := func(path string) ([]int64, *algorithms.Output, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		return algorithms.ReadOutput(f, algorithms.Algorithm(*algorithm))
+	}
+	gotIDs, got, err := read(*gotPath)
+	if err != nil {
+		return err
+	}
+	wantIDs, want, err := read(*wantPath)
+	if err != nil {
+		return err
+	}
+	if len(gotIDs) != len(wantIDs) {
+		return fmt.Errorf("vertex counts differ: %d vs %d", len(gotIDs), len(wantIDs))
+	}
+	for i := range gotIDs {
+		if gotIDs[i] != wantIDs[i] {
+			return fmt.Errorf("vertex id mismatch at row %d: %d vs %d", i, gotIDs[i], wantIDs[i])
+		}
+	}
+	rep := validation.Validate(got, want, gotIDs)
+	if !rep.OK {
+		return rep.Error()
+	}
+	fmt.Printf("outputs equivalent (%d vertices checked)\n", rep.Checked)
+	return nil
+}
+
+func cmdSuite(args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	id := fs.String("id", "all", "experiment id (fig4..fig10, table8..table11, all)")
+	out := fs.String("out", "", "write the results database (JSON lines) to this path")
+	threads := fs.Int("threads", 4, "threads per machine")
+	sla := fs.Duration("sla", time.Minute, "makespan budget per job")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := graphalytics.NewRunner()
+	r.SLA = *sla
+	single := graphalytics.SingleMachinePlatforms()
+	dist := graphalytics.DistributedPlatforms()
+
+	suites := map[string]func() (*core.Report, error){
+		"fig4": func() (*core.Report, error) { return graphalytics.DatasetVariety(r, single, *threads) },
+		"fig5": func() (*core.Report, error) {
+			if _, err := graphalytics.DatasetVariety(r, single, *threads); err != nil {
+				return nil, err
+			}
+			return graphalytics.ThroughputReport(r.DB, single), nil
+		},
+		"fig6": func() (*core.Report, error) { return graphalytics.AlgorithmVariety(r, single, *threads) },
+		"fig7": func() (*core.Report, error) {
+			return graphalytics.VerticalScalability(r, single, []int{1, 2, 4, 8, 16, 32})
+		},
+		"table9": func() (*core.Report, error) {
+			if _, err := graphalytics.VerticalScalability(r, single, []int{1, 2, 4, 8, 16, 32}); err != nil {
+				return nil, err
+			}
+			return graphalytics.VerticalSpeedupReport(r.DB, single), nil
+		},
+		"fig8": func() (*core.Report, error) {
+			return graphalytics.StrongScaling(r, dist, []int{1, 2, 4, 8, 16}, 2)
+		},
+		"fig9": func() (*core.Report, error) {
+			return graphalytics.WeakScaling(r, dist, graphalytics.DefaultWeakPairs(), 2)
+		},
+		"table8": func() (*core.Report, error) { return graphalytics.MakespanBreakdown(r, single, *threads) },
+		"table10": func() (*core.Report, error) {
+			return graphalytics.StressTest(r, append(single, "spmv-d"), *threads, 2<<20)
+		},
+		"table11": func() (*core.Report, error) { return graphalytics.Variability(r, single, dist, 10, *threads) },
+		"fig10": func() (*core.Report, error) {
+			return graphalytics.DataGeneration([]float64{3, 10, 30, 100}, []int{1, 2, 4}, 1000)
+		},
+	}
+
+	order := []string{"fig4", "fig5", "table8", "fig6", "fig7", "table9", "fig8", "fig9", "table10", "table11", "fig10"}
+	run := func(name string) error {
+		suite, ok := suites[name]
+		if !ok {
+			return fmt.Errorf("unknown suite %q", name)
+		}
+		rep, err := suite()
+		if err != nil {
+			return err
+		}
+		return rep.Render(os.Stdout)
+	}
+	if *id == "all" {
+		for _, name := range order {
+			if err := run(name); err != nil {
+				return err
+			}
+		}
+	} else if err := run(*id); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := r.DB.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("%d results written to %s\n", r.DB.Len(), *out)
+	}
+	return nil
+}
+
+func cmdRenewal(args []string) error {
+	fs := flag.NewFlagSet("renewal", flag.ExitOnError)
+	budget := fs.Duration("budget", 2*time.Second, "single-machine BFS time budget")
+	platformName := fs.String("platform", "native", "state-of-the-art platform to measure with")
+	threads := fs.Int("threads", 4, "threads")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	class, err := graphalytics.RenewClassL(*platformName, *threads, *budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("renewal process: with a %v BFS budget on %s, class L re-derives to %s\n",
+		*budget, *platformName, class)
+	return nil
+}

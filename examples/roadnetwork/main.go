@@ -1,0 +1,92 @@
+// Road-network routing: build a weighted grid with highways, run SSSP on
+// every platform that supports it, compare processing times and verify all
+// engines agree on the distances.
+//
+// Run with: go run ./examples/roadnetwork
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"graphalytics"
+)
+
+const side = 60 // 3600 intersections
+
+func main() {
+	g, err := buildRoadNetwork()
+	if err != nil {
+		log.Fatalf("build road network: %v", err)
+	}
+	fmt.Println(g)
+
+	params := graphalytics.Params{Source: 0}
+	want, err := graphalytics.Reference(g, graphalytics.SSSP, params)
+	if err != nil {
+		log.Fatalf("reference SSSP: %v", err)
+	}
+
+	fmt.Printf("\n%-9s %-12s %12s  %s\n", "engine", "paper name", "Tproc", "validated")
+	for _, name := range graphalytics.Platforms() {
+		p, err := graphalytics.PlatformByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !p.Supports(graphalytics.SSSP) {
+			fmt.Printf("%-9s %-12s %12s  %s\n", name, graphalytics.PaperName(name), "-", "not supported")
+			continue
+		}
+		res, err := graphalytics.Run(context.Background(), name, g, graphalytics.SSSP, params,
+			graphalytics.RunConfig{Threads: 4})
+		if err != nil {
+			log.Fatalf("SSSP on %s: %v", name, err)
+		}
+		rep := graphalytics.Validate(res.Output, want, g)
+		status := "ok"
+		if !rep.OK {
+			status = rep.FirstDiff
+		}
+		fmt.Printf("%-9s %-12s %12v  %s\n", name, graphalytics.PaperName(name), res.ProcessingTime, status)
+	}
+
+	// Report the farthest reachable intersection.
+	far, dist := 0, 0.0
+	for v, d := range want.Float {
+		if !math.IsInf(d, 1) && d > dist {
+			far, dist = v, d
+		}
+	}
+	fmt.Printf("\nfarthest intersection from depot: (%d,%d) at travel cost %.1f\n",
+		far%side, far/side, dist)
+}
+
+// buildRoadNetwork creates a grid of local roads with a sparse overlay of
+// fast highways along every tenth row and column.
+func buildRoadNetwork() (*graphalytics.Graph, error) {
+	b := graphalytics.NewBuilder(false, true)
+	b.SetName("road-grid")
+	id := func(x, y int) int64 { return int64(y*side + x) }
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			b.AddVertex(id(x, y))
+			cost := 1.0 + float64((x*7+y*13)%5) // local street
+			if y%10 == 0 {
+				cost = 0.3 // east-west highway
+			}
+			if x+1 < side {
+				b.AddWeightedEdge(id(x, y), id(x+1, y), cost)
+			}
+			cost = 1.0 + float64((x*3+y*11)%5)
+			if x%10 == 0 {
+				cost = 0.3 // north-south highway
+			}
+			if y+1 < side {
+				b.AddWeightedEdge(id(x, y), id(x, y+1), cost)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,159 @@
+package graphalytics_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"graphalytics"
+)
+
+func toyGraph(t *testing.T) *graphalytics.Graph {
+	t.Helper()
+	g, err := graphalytics.FromEdges("toy", false, true, []graphalytics.Edge{
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 2},
+		{Src: 3, Dst: 1, Weight: 3},
+		{Src: 3, Dst: 4, Weight: 1},
+	}, graphalytics.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFacadeRunAllPlatformsAgree(t *testing.T) {
+	g := toyGraph(t)
+	params := graphalytics.Params{Source: 1, Iterations: 5}
+	for _, a := range graphalytics.Algorithms {
+		want, err := graphalytics.Reference(g, a, params)
+		if err != nil {
+			t.Fatalf("%s reference: %v", a, err)
+		}
+		for _, name := range graphalytics.Platforms() {
+			p, err := graphalytics.PlatformByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.Supports(a) {
+				continue
+			}
+			res, err := graphalytics.Run(context.Background(), name, g, a, params,
+				graphalytics.RunConfig{Threads: 2})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a, name, err)
+			}
+			if rep := graphalytics.Validate(res.Output, want, g); !rep.OK {
+				t.Fatalf("%s on %s: %v", a, name, rep.Error())
+			}
+		}
+	}
+}
+
+func TestFacadeRunUnknownPlatform(t *testing.T) {
+	g := toyGraph(t)
+	if _, err := graphalytics.Run(context.Background(), "bogus", g, graphalytics.BFS,
+		graphalytics.Params{Source: 1}, graphalytics.RunConfig{}); err == nil {
+		t.Fatal("expected error for unknown platform")
+	}
+}
+
+func TestFacadeRunWithTimeout(t *testing.T) {
+	g := toyGraph(t)
+	res, err := graphalytics.RunWithTimeout("native", g, graphalytics.BFS,
+		graphalytics.Params{Source: 1}, graphalytics.RunConfig{Threads: 1}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProcessingTime <= 0 {
+		t.Fatal("expected positive processing time")
+	}
+}
+
+func TestFacadePaperNames(t *testing.T) {
+	want := map[string]string{
+		"pregel":   "Giraph",
+		"dataflow": "GraphX",
+		"gas":      "PowerGraph",
+		"spmv-s":   "GraphMat(S)",
+		"spmv-d":   "GraphMat(D)",
+		"native":   "OpenG",
+		"pushpull": "PGX.D",
+	}
+	for engine, paper := range want {
+		if got := graphalytics.PaperName(engine); got != paper {
+			t.Errorf("PaperName(%s) = %s, want %s", engine, got, paper)
+		}
+	}
+	if graphalytics.PaperName("unknown") != "unknown" {
+		t.Error("unknown engines map to themselves")
+	}
+}
+
+func TestFacadePlatformSets(t *testing.T) {
+	if len(graphalytics.Platforms()) != 7 {
+		t.Fatalf("registered platforms = %v, want 7", graphalytics.Platforms())
+	}
+	if len(graphalytics.SingleMachinePlatforms()) != 6 {
+		t.Fatalf("single-machine set = %v, want 6", graphalytics.SingleMachinePlatforms())
+	}
+	if len(graphalytics.DistributedPlatforms()) != 5 {
+		t.Fatalf("distributed set = %v, want 5", graphalytics.DistributedPlatforms())
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	ds := graphalytics.Datasets()
+	if len(ds) != 16 {
+		t.Fatalf("catalog has %d datasets, want 16 (6 real + 10 synthetic)", len(ds))
+	}
+	g, err := graphalytics.LoadDataset("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphalytics.GraphScale(g) <= 0 || graphalytics.DatasetClass(g) == "" {
+		t.Fatal("scale and class must be derivable")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	res, err := graphalytics.GenerateSocialNetwork(graphalytics.DatagenConfig{ScaleFactor: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() == 0 {
+		t.Fatal("datagen produced no edges")
+	}
+	g, err := graphalytics.GenerateGraph500(graphalytics.Graph500Config{Scale: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 64 {
+		t.Fatalf("graph500 |V| = %d, want 64", g.NumVertices())
+	}
+}
+
+func TestFacadeSaveLoadGraph(t *testing.T) {
+	g := toyGraph(t)
+	dir := t.TempDir()
+	if err := graphalytics.SaveGraph(g, dir+"/g.v", dir+"/g.e"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graphalytics.LoadGraph(dir+"/g.v", dir+"/g.e", false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatal("graph changed across save/load")
+	}
+}
+
+func TestFacadeRenewal(t *testing.T) {
+	class, err := graphalytics.RenewClassL("native", 4, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != "XL" {
+		t.Fatalf("with a generous budget class L should re-derive to XL, got %s", class)
+	}
+}

@@ -1,0 +1,84 @@
+package algorithms_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"graphalytics/internal/algorithms"
+)
+
+func TestOutputRoundTripInt(t *testing.T) {
+	ids := []int64{10, 20, 30}
+	out := &algorithms.Output{Algorithm: algorithms.BFS, Int: []int64{0, algorithms.Unreachable, 2}}
+	var buf bytes.Buffer
+	if err := algorithms.WriteOutput(&buf, ids, out); err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, got, err := algorithms.ReadOutput(&buf, algorithms.BFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if gotIDs[i] != ids[i] || got.Int[i] != out.Int[i] {
+			t.Fatalf("row %d: got (%d,%d), want (%d,%d)", i, gotIDs[i], got.Int[i], ids[i], out.Int[i])
+		}
+	}
+}
+
+func TestOutputRoundTripFloatWithInfinity(t *testing.T) {
+	ids := []int64{1, 2}
+	out := &algorithms.Output{Algorithm: algorithms.SSSP, Float: []float64{2.5, math.Inf(1)}}
+	var buf bytes.Buffer
+	if err := algorithms.WriteOutput(&buf, ids, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "infinity") {
+		t.Fatalf("SSSP unreachable must serialize as 'infinity':\n%s", buf.String())
+	}
+	_, got, err := algorithms.ReadOutput(&buf, algorithms.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float[0] != 2.5 || !math.IsInf(got.Float[1], 1) {
+		t.Fatalf("round trip: %v", got.Float)
+	}
+}
+
+func TestWriteOutputLengthMismatch(t *testing.T) {
+	out := &algorithms.Output{Algorithm: algorithms.BFS, Int: []int64{1}}
+	if err := algorithms.WriteOutput(&bytes.Buffer{}, []int64{1, 2}, out); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestReadOutputErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		alg  algorithms.Algorithm
+	}{
+		{"wrong field count", "1 2 3\n", algorithms.BFS},
+		{"bad id", "x 2\n", algorithms.BFS},
+		{"bad int value", "1 x\n", algorithms.BFS},
+		{"bad float value", "1 x\n", algorithms.PR},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := algorithms.ReadOutput(strings.NewReader(tc.in), tc.alg); err == nil {
+				t.Fatal("expected parse error")
+			}
+		})
+	}
+}
+
+func TestReadOutputSkipsComments(t *testing.T) {
+	ids, out, err := algorithms.ReadOutput(strings.NewReader("# header\n\n5 7\n"), algorithms.WCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 5 || out.Int[0] != 7 {
+		t.Fatalf("parsed %v %v", ids, out.Int)
+	}
+}

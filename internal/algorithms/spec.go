@@ -1,0 +1,151 @@
+// Package algorithms defines the six core Graphalytics algorithms — BFS,
+// PageRank, weakly connected components, community detection by label
+// propagation, local clustering coefficient, and single-source shortest
+// paths — together with sequential reference implementations.
+//
+// The algorithm definitions are abstract (Section 2.2.3 of the paper):
+// platforms may implement them any way they like, and correctness is
+// defined as output equivalence to the reference implementation in this
+// package. All six algorithms are deterministic.
+//
+// Outputs are indexed by internal vertex index; identifier-space outputs
+// (WCC component labels, CDLP community labels) use external vertex
+// identifiers as label values, following the Graphalytics specification.
+package algorithms
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"graphalytics/internal/graph"
+)
+
+// Algorithm names one of the six core algorithms.
+type Algorithm string
+
+// The six core algorithms selected by the two-stage workload selection
+// process (Table 1): five for unweighted graphs and SSSP for weighted
+// graphs.
+const (
+	BFS  Algorithm = "BFS"
+	PR   Algorithm = "PR"
+	WCC  Algorithm = "WCC"
+	CDLP Algorithm = "CDLP"
+	LCC  Algorithm = "LCC"
+	SSSP Algorithm = "SSSP"
+)
+
+// All lists the core algorithms in the order used throughout the paper.
+var All = []Algorithm{BFS, PR, WCC, CDLP, LCC, SSSP}
+
+// Unreachable is the BFS output value for vertices that cannot be reached
+// from the source.
+const Unreachable = int64(math.MaxInt64)
+
+// Default algorithm parameters used when a benchmark description does not
+// override them.
+const (
+	DefaultDamping        = 0.85
+	DefaultPRIterations   = 20
+	DefaultCDLPIterations = 10
+)
+
+// Params carries the per-run algorithm parameters from the benchmark
+// description (e.g., the root for BFS or the number of iterations for PR).
+type Params struct {
+	// Source is the external identifier of the source vertex for BFS and
+	// SSSP.
+	Source int64
+	// Iterations is the fixed iteration count for PR and CDLP.
+	Iterations int
+	// Damping is the PageRank damping factor.
+	Damping float64
+}
+
+// WithDefaults returns a copy of p with zero fields replaced by the
+// algorithm's defaults.
+func (p Params) WithDefaults(a Algorithm) Params {
+	if p.Iterations == 0 {
+		switch a {
+		case PR:
+			p.Iterations = DefaultPRIterations
+		case CDLP:
+			p.Iterations = DefaultCDLPIterations
+		}
+	}
+	if p.Damping == 0 && a == PR {
+		p.Damping = DefaultDamping
+	}
+	return p
+}
+
+// Output holds per-vertex algorithm results, indexed by internal vertex
+// index. Exactly one of Int and Float is non-nil: Int for BFS (hop count),
+// WCC (component label) and CDLP (community label); Float for PR (rank),
+// LCC (clustering coefficient) and SSSP (distance).
+type Output struct {
+	Algorithm Algorithm
+	Int       []int64
+	Float     []float64
+}
+
+// Len returns the number of per-vertex values.
+func (o *Output) Len() int {
+	if o.Int != nil {
+		return len(o.Int)
+	}
+	return len(o.Float)
+}
+
+// IsFloat reports whether the output carries floating-point values.
+func (o *Output) IsFloat() bool { return o.Float != nil }
+
+// Errors returned for invalid algorithm requests.
+var (
+	// ErrUnknownAlgorithm is returned for an algorithm name outside the
+	// core set.
+	ErrUnknownAlgorithm = errors.New("algorithms: unknown algorithm")
+	// ErrSourceNotFound is returned when the BFS/SSSP source vertex does
+	// not exist in the graph.
+	ErrSourceNotFound = errors.New("algorithms: source vertex not in graph")
+	// ErrNeedsWeights is returned when SSSP is requested on an unweighted
+	// graph.
+	ErrNeedsWeights = errors.New("algorithms: SSSP requires a weighted graph")
+)
+
+// RunReference executes the sequential reference implementation of a on g
+// and returns the reference output used for validating platform results.
+func RunReference(g *graph.Graph, a Algorithm, p Params) (*Output, error) {
+	p = p.WithDefaults(a)
+	switch a {
+	case BFS:
+		src, ok := g.Index(p.Source)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrSourceNotFound, p.Source)
+		}
+		return &Output{Algorithm: BFS, Int: RefBFS(g, src)}, nil
+	case PR:
+		return &Output{Algorithm: PR, Float: RefPageRank(g, p.Iterations, p.Damping)}, nil
+	case WCC:
+		return &Output{Algorithm: WCC, Int: RefWCC(g)}, nil
+	case CDLP:
+		return &Output{Algorithm: CDLP, Int: RefCDLP(g, p.Iterations)}, nil
+	case LCC:
+		return &Output{Algorithm: LCC, Float: RefLCC(g)}, nil
+	case SSSP:
+		if !g.Weighted() {
+			return nil, ErrNeedsWeights
+		}
+		src, ok := g.Index(p.Source)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrSourceNotFound, p.Source)
+		}
+		return &Output{Algorithm: SSSP, Float: RefSSSP(g, src)}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, a)
+	}
+}
+
+// Weighted reports whether the algorithm operates on weighted graphs.
+func Weighted(a Algorithm) bool { return a == SSSP }

@@ -1,0 +1,77 @@
+package cluster
+
+import "time"
+
+// Threads simulates a machine's thread pool. The reproduction may run on
+// hosts with a single core (as this one's calibration environment does),
+// where real goroutine parallelism cannot demonstrate vertical
+// scalability, so thread-parallel regions are executed chunk by chunk on
+// the calling goroutine, each chunk is timed, and the modeled parallel
+// duration of the region is
+//
+//	max(chunk durations) + spawnCost * (chunks - 1)
+//
+// The difference between the sequential total and the modeled duration is
+// accumulated as a "discount" that RunRound subtracts from the machine's
+// measured wall time. Everything outside Chunks regions (message
+// delivery, merges, barriers) stays at full measured cost, so Amdahl
+// behavior — sequential sections capping speedup — emerges honestly, as
+// does imbalance across chunks.
+type Threads struct {
+	count    int
+	discount time.Duration
+}
+
+// spawnCost is the modeled per-additional-thread coordination cost of one
+// parallel region (goroutine wake-up plus barrier hand-off).
+const spawnCost = 2 * time.Microsecond
+
+// Count returns the thread budget.
+func (t *Threads) Count() int { return t.count }
+
+// Chunks partitions [0, n) into at most Count contiguous ranges and runs
+// fn for each, modeling their parallel execution.
+func (t *Threads) Chunks(n int, fn func(lo, hi int)) {
+	t.ChunksIndexed(n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ChunksIndexed is Chunks with the worker slot exposed. Worker indices are
+// in [0, min(Count, n)).
+func (t *Threads) ChunksIndexed(n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads := t.count
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var seqTotal, maxChunk time.Duration
+	for w := 0; w < threads; w++ {
+		lo := w * n / threads
+		hi := (w + 1) * n / threads
+		start := time.Now()
+		fn(w, lo, hi)
+		d := time.Since(start)
+		seqTotal += d
+		if d > maxChunk {
+			maxChunk = d
+		}
+	}
+	modeled := maxChunk + spawnCost*time.Duration(threads-1)
+	if saved := seqTotal - modeled; saved > 0 {
+		t.discount += saved
+	}
+}
+
+// For runs fn(i) for every i in [0, n) across the simulated threads.
+func (t *Threads) For(n int, fn func(i int)) {
+	t.Chunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"graphalytics/internal/cluster"
+)
+
+// threadsOf builds a Threads handle through a cluster round, the only way
+// engines obtain one.
+func threadsOf(t *testing.T, count int, use func(th *cluster.Threads)) time.Duration {
+	t.Helper()
+	c := cluster.New(cluster.Config{Machines: 1, Threads: count})
+	if err := c.RunRound(func(_ int, th *cluster.Threads) error {
+		use(th)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c.SimulatedTime()
+}
+
+func TestThreadsCoversRange(t *testing.T) {
+	for _, count := range []int{1, 3, 8} {
+		seen := make([]int, 100)
+		threadsOf(t, count, func(th *cluster.Threads) {
+			if th.Count() != count {
+				t.Fatalf("Count = %d, want %d", th.Count(), count)
+			}
+			th.Chunks(len(seen), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("threads=%d: index %d visited %d times", count, i, c)
+			}
+		}
+	}
+}
+
+func TestThreadsIndexedWorkersDistinct(t *testing.T) {
+	threadsOf(t, 4, func(th *cluster.Threads) {
+		used := make(map[int]bool)
+		th.ChunksIndexed(100, func(w, lo, hi int) {
+			if used[w] {
+				t.Fatalf("worker slot %d reused", w)
+			}
+			if w < 0 || w >= 4 {
+				t.Fatalf("worker slot %d out of range", w)
+			}
+			used[w] = true
+		})
+		if len(used) != 4 {
+			t.Fatalf("used %d worker slots, want 4", len(used))
+		}
+	})
+}
+
+func TestThreadsFor(t *testing.T) {
+	sum := 0
+	threadsOf(t, 4, func(th *cluster.Threads) {
+		th.For(10, func(i int) { sum += i })
+	})
+	if sum != 45 {
+		t.Fatalf("sum = %d, want 45", sum)
+	}
+}
+
+func TestThreadsZeroWork(t *testing.T) {
+	threadsOf(t, 4, func(th *cluster.Threads) {
+		th.Chunks(0, func(lo, hi int) { t.Fatal("must not run for n=0") })
+	})
+}
+
+func TestThreadsDiscountReducesSimulatedTime(t *testing.T) {
+	// A perfectly parallel region must be cheaper on more simulated
+	// threads: burn a measurable, even amount of CPU per element.
+	burn := func(th *cluster.Threads) {
+		th.Chunks(64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := 1.0
+				for k := 0; k < 40000; k++ {
+					x = x*1.0000001 + float64(k%3)
+				}
+				_ = x
+			}
+		})
+	}
+	serial := threadsOf(t, 1, burn)
+	parallel := threadsOf(t, 8, burn)
+	if parallel >= serial {
+		t.Fatalf("8 simulated threads (%v) not faster than 1 (%v)", parallel, serial)
+	}
+	// The modeled speedup must not exceed the thread count.
+	if float64(serial)/float64(parallel) > 8.5 {
+		t.Fatalf("speedup %v exceeds the thread count", float64(serial)/float64(parallel))
+	}
+}
+
+func TestThreadsSequentialWorkNotDiscounted(t *testing.T) {
+	// Work outside Chunks regions must be charged in full regardless of
+	// the thread budget.
+	burnSequential := func(th *cluster.Threads) {
+		x := 1.0
+		for k := 0; k < 3_000_000; k++ {
+			x = x*1.0000001 + float64(k%3)
+		}
+		_ = x
+	}
+	serial := threadsOf(t, 1, burnSequential)
+	parallel := threadsOf(t, 8, burnSequential)
+	ratio := float64(serial) / float64(parallel)
+	if ratio > 2 || ratio < 0.5 {
+		t.Fatalf("sequential work changed by %vx across thread budgets", ratio)
+	}
+}

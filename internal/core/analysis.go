@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"graphalytics/internal/algorithms"
+)
+
+// This file implements the results analysis & modeling component of the
+// architecture (Figure 1, components 11-12): it distills a results
+// database into the kind of cross-platform findings the paper reports
+// ("GraphMat and PGX.D significantly outperform their competitors",
+// "Giraph and GraphX are consistently two orders of magnitude slower").
+
+// PlatformSummary aggregates one platform's results across a set of jobs.
+type PlatformSummary struct {
+	Platform string
+	// Jobs and Completed count attempted and successful jobs.
+	Jobs, Completed int
+	// SLACompliance is Completed/Jobs.
+	SLACompliance float64
+	// GeoMeanSlowdown is the geometric mean, over jobs completed by both,
+	// of this platform's Tproc divided by the per-job best Tproc. 1.0
+	// means "fastest everywhere".
+	GeoMeanSlowdown float64
+	// WorstSlowdown is the largest per-job slowdown factor.
+	WorstSlowdown float64
+}
+
+// Analyze summarizes every platform appearing in the database over the
+// (platform × dataset × algorithm × resources) jobs it contains.
+func Analyze(db *ResultsDB) []PlatformSummary {
+	type jobKey struct {
+		dataset   string
+		algorithm algorithms.Algorithm
+		threads   int
+		machines  int
+	}
+	best := make(map[jobKey]time.Duration)
+	perPlatform := make(map[string]map[jobKey]time.Duration)
+	attempts := make(map[string]int)
+	for _, r := range db.All() {
+		if r.Status == StatusUnsupported {
+			continue
+		}
+		attempts[r.Spec.Platform]++
+		if r.Status != StatusOK || r.ProcessingTime <= 0 {
+			continue
+		}
+		k := jobKey{r.Spec.Dataset, r.Spec.Algorithm, r.Spec.Threads, r.Spec.Machines}
+		if cur, ok := best[k]; !ok || r.ProcessingTime < cur {
+			best[k] = r.ProcessingTime
+		}
+		m := perPlatform[r.Spec.Platform]
+		if m == nil {
+			m = make(map[jobKey]time.Duration)
+			perPlatform[r.Spec.Platform] = m
+		}
+		if cur, ok := m[k]; !ok || r.ProcessingTime < cur {
+			m[k] = r.ProcessingTime
+		}
+	}
+
+	var out []PlatformSummary
+	for platform, jobs := range perPlatform {
+		s := PlatformSummary{Platform: platform, Jobs: attempts[platform], Completed: len(jobs)}
+		if s.Jobs > 0 {
+			s.SLACompliance = float64(s.Completed) / float64(s.Jobs)
+		}
+		var logSum float64
+		var count int
+		for k, tproc := range jobs {
+			b := best[k]
+			if b <= 0 {
+				continue
+			}
+			slow := float64(tproc) / float64(b)
+			logSum += math.Log(slow)
+			count++
+			if slow > s.WorstSlowdown {
+				s.WorstSlowdown = slow
+			}
+		}
+		if count > 0 {
+			s.GeoMeanSlowdown = math.Exp(logSum / float64(count))
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GeoMeanSlowdown < out[j].GeoMeanSlowdown })
+	return out
+}
+
+// AnalysisReport renders the platform summaries and derives the paper's
+// style of key findings.
+func AnalysisReport(db *ResultsDB) *Report {
+	summaries := Analyze(db)
+	rep := &Report{
+		ID:      "analysis",
+		Title:   "Cross-platform analysis (geometric-mean slowdown vs. per-job best)",
+		Columns: []string{"platform", "jobs", "completed", "SLA compliance", "geo-mean slowdown", "worst slowdown"},
+	}
+	for _, s := range summaries {
+		rep.Rows = append(rep.Rows, []string{
+			s.Platform,
+			fmt.Sprint(s.Jobs),
+			fmt.Sprint(s.Completed),
+			fmt.Sprintf("%.0f%%", 100*s.SLACompliance),
+			fmt.Sprintf("%.1fx", s.GeoMeanSlowdown),
+			fmt.Sprintf("%.0fx", s.WorstSlowdown),
+		})
+	}
+	if len(summaries) >= 2 {
+		fastest := summaries[0]
+		slowest := summaries[len(summaries)-1]
+		orders := 0
+		if fastest.GeoMeanSlowdown > 0 {
+			orders = int(math.Floor(math.Log10(slowest.GeoMeanSlowdown / fastest.GeoMeanSlowdown)))
+		}
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"%s is the fastest platform overall; %s trails it by roughly %d order(s) of magnitude",
+			fastest.Platform, slowest.Platform, orders))
+	}
+	return rep
+}

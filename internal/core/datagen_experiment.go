@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"graphalytics/internal/datagen"
+)
+
+// DataGeneration (Section 4.8, Figure 10) is the benchmark's self-test:
+// it measures Datagen's execution time for the new flow against the old
+// flow over a sweep of scale factors (left plot), and the new flow's
+// horizontal scalability over worker counts (right plot).
+func DataGeneration(scaleFactors []float64, workers []int, edgesPerUnit int) (*Report, error) {
+	rep := &Report{
+		ID:    "fig10",
+		Title: "Datagen: new vs. old execution flow, and horizontal scalability of the new flow",
+		Columns: []string{
+			"scale factor", "edges", "old flow", "new flow", "speedup", "workers", "new-flow time",
+		},
+	}
+	const fixedWorkers = 4
+	for _, sf := range scaleFactors {
+		oldStats, err := runDatagen(sf, datagen.FlowOld, fixedWorkers, edgesPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		newStats, err := runDatagen(sf, datagen.FlowNew, fixedWorkers, edgesPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		speedup := float64(oldStats.TotalTime) / float64(newStats.TotalTime)
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%g", sf),
+			fmt.Sprint(newStats.Edges),
+			fmtDuration(oldStats.TotalTime),
+			fmtDuration(newStats.TotalTime),
+			fmt.Sprintf("%.2fx", speedup),
+			"-", "-",
+		})
+	}
+	// Right plot: the largest scale factor across worker counts.
+	sf := scaleFactors[len(scaleFactors)-1]
+	for _, w := range workers {
+		stats, err := runDatagen(sf, datagen.FlowNew, w, edgesPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%g", sf), fmt.Sprint(stats.Edges), "-", "-", "-",
+			fmt.Sprint(w), fmtDuration(stats.TotalTime),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"the old flow re-reads and re-sorts all previously generated edges every step, so its cost grows with scale; the speedup of the new flow therefore grows with the scale factor (paper: 1.16x at SF30 to 2.9x at SF3000)")
+	return rep, nil
+}
+
+// runDatagen executes one generation and returns its statistics.
+func runDatagen(sf float64, flow datagen.Flow, workers, edgesPerUnit int) (datagen.Stats, error) {
+	res, err := datagen.Generate(datagen.Config{
+		ScaleFactor:  sf,
+		EdgesPerUnit: edgesPerUnit,
+		Seed:         uint64(4000 + sf),
+		Flow:         flow,
+		Workers:      workers,
+		Weighted:     true,
+	})
+	if err != nil {
+		return datagen.Stats{}, fmt.Errorf("core: datagen sf=%g flow=%s: %w", sf, flow, err)
+	}
+	return res.Stats, nil
+}
+
+// StepBreakdown reports the per-step cost of both flows at one scale
+// factor, showing where the old flow's growth comes from.
+func StepBreakdown(sf float64, edgesPerUnit int) (*Report, error) {
+	rep := &Report{
+		ID:      "fig10-steps",
+		Title:   fmt.Sprintf("Datagen step breakdown at scale factor %g", sf),
+		Columns: []string{"flow", "step", "duration", "edges", "sorted items"},
+	}
+	for _, flow := range []datagen.Flow{datagen.FlowOld, datagen.FlowNew} {
+		stats, err := runDatagen(sf, flow, 4, edgesPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range stats.Steps {
+			rep.Rows = append(rep.Rows, []string{
+				string(flow), st.Name, fmtDuration(st.Duration),
+				fmt.Sprint(st.Edges), fmt.Sprint(st.SortedItems),
+			})
+		}
+		if flow == datagen.FlowNew {
+			rep.Rows = append(rep.Rows, []string{
+				string(flow), "merge", fmtDuration(stats.MergeTime),
+				fmt.Sprint(stats.RawEdges), fmt.Sprint(stats.RawEdges),
+			})
+		}
+	}
+	return rep, nil
+}

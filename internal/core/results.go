@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"graphalytics/internal/algorithms"
+)
+
+// ResultsDB is the harness's results database (component 9 of Figure 1):
+// an append-only store of job results that can be persisted as JSON Lines
+// and queried by experiment code and the report renderer.
+type ResultsDB struct {
+	mu      sync.RWMutex
+	results []JobResult
+}
+
+// NewResultsDB returns an empty database.
+func NewResultsDB() *ResultsDB { return &ResultsDB{} }
+
+// Add appends a result.
+func (db *ResultsDB) Add(r JobResult) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.results = append(db.results, r)
+}
+
+// Len returns the number of stored results.
+func (db *ResultsDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.results)
+}
+
+// All returns a copy of every stored result.
+func (db *ResultsDB) All() []JobResult {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]JobResult(nil), db.results...)
+}
+
+// Query returns the results matching all non-zero fields of the filter.
+func (db *ResultsDB) Query(f Filter) []JobResult {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []JobResult
+	for _, r := range db.results {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Filter selects results; zero-valued fields match anything.
+type Filter struct {
+	Platform  string
+	Dataset   string
+	Algorithm algorithms.Algorithm
+	Status    Status
+	Machines  int
+	Threads   int
+}
+
+func (f Filter) matches(r JobResult) bool {
+	if f.Platform != "" && r.Spec.Platform != f.Platform {
+		return false
+	}
+	if f.Dataset != "" && r.Spec.Dataset != f.Dataset {
+		return false
+	}
+	if f.Algorithm != "" && r.Spec.Algorithm != f.Algorithm {
+		return false
+	}
+	if f.Status != "" && r.Status != f.Status {
+		return false
+	}
+	if f.Machines != 0 && r.Spec.Machines != f.Machines {
+		return false
+	}
+	if f.Threads != 0 && r.Spec.Threads != f.Threads {
+		return false
+	}
+	return true
+}
+
+// WriteJSONL streams every result as one JSON object per line.
+func (db *ResultsDB) WriteJSONL(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range db.results {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("core: encode result: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flush results: %w", err)
+	}
+	return nil
+}
+
+// Save writes the database to a JSON Lines file.
+func (db *ResultsDB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create results file: %w", err)
+	}
+	if err := db.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: close results file: %w", err)
+	}
+	return nil
+}
+
+// LoadResults reads a JSON Lines results file into a fresh database.
+func LoadResults(path string) (*ResultsDB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open results file: %w", err)
+	}
+	defer f.Close()
+	db := NewResultsDB()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var r JobResult
+		if err := dec.Decode(&r); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("core: decode result: %w", err)
+		}
+		db.results = append(db.results, r)
+	}
+	return db, nil
+}

@@ -1,0 +1,175 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/datagen"
+	"graphalytics/internal/graph"
+)
+
+func generate(t *testing.T, cfg datagen.Config) *datagen.Result {
+	t.Helper()
+	cfg.TempDir = t.TempDir()
+	res, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return res
+}
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("graphs differ in size: |V| %d vs %d, |E| %d vs %d",
+			a.NumVertices(), b.NumVertices(), a.NumEdges(), b.NumEdges())
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := datagen.Config{ScaleFactor: 2, Seed: 9, Weighted: true}
+	a := generate(t, cfg)
+	b := generate(t, cfg)
+	sameGraph(t, a.Graph, b.Graph)
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := generate(t, datagen.Config{ScaleFactor: 2, Seed: 1})
+	b := generate(t, datagen.Config{ScaleFactor: 2, Seed: 2})
+	if a.Graph.NumEdges() == b.Graph.NumEdges() {
+		ea, eb := a.Graph.Edges(), b.Graph.Edges()
+		same := true
+		for i := range ea {
+			if ea[i] != eb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// The paper's Figure 10 varies "machines"; the generated graph must
+	// not depend on the worker count.
+	one := generate(t, datagen.Config{ScaleFactor: 2, Seed: 5, Workers: 1})
+	four := generate(t, datagen.Config{ScaleFactor: 2, Seed: 5, Workers: 4})
+	sameGraph(t, one.Graph, four.Graph)
+}
+
+func TestFlowsProduceSameGraph(t *testing.T) {
+	// The new flow is an optimization: it must produce exactly the old
+	// flow's graph after deduplication.
+	oldFlow := generate(t, datagen.Config{ScaleFactor: 2, Seed: 5, Flow: datagen.FlowOld})
+	newFlow := generate(t, datagen.Config{ScaleFactor: 2, Seed: 5, Flow: datagen.FlowNew})
+	sameGraph(t, oldFlow.Graph, newFlow.Graph)
+}
+
+func TestOldFlowSortCostGrows(t *testing.T) {
+	res := generate(t, datagen.Config{ScaleFactor: 5, Seed: 5, Flow: datagen.FlowOld})
+	steps := res.Stats.Steps
+	if len(steps) < 3 {
+		t.Fatalf("want 3 steps, got %d", len(steps))
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].SortedItems <= steps[i-1].SortedItems {
+			t.Fatalf("old flow step %d sorted %d items, step %d sorted %d: cost must grow",
+				i, steps[i].SortedItems, i-1, steps[i-1].SortedItems)
+		}
+	}
+}
+
+func TestNewFlowSortCostConstant(t *testing.T) {
+	res := generate(t, datagen.Config{ScaleFactor: 5, Seed: 5, Flow: datagen.FlowNew})
+	steps := res.Stats.Steps
+	for i := 1; i < len(steps); i++ {
+		if steps[i].SortedItems != steps[0].SortedItems {
+			t.Fatalf("new flow must sort only the person table per step, got %v", steps)
+		}
+	}
+	if res.Stats.MergeTime <= 0 {
+		t.Fatal("new flow must report merge time")
+	}
+}
+
+func TestGraphValidity(t *testing.T) {
+	res := generate(t, datagen.Config{ScaleFactor: 3, Seed: 11, Weighted: true})
+	g := res.Graph
+	if g.Directed() {
+		t.Fatal("friendship graphs are undirected")
+	}
+	if !g.Weighted() {
+		t.Fatal("weighted config must yield weights")
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for i, u := range g.OutNeighbors(v) {
+			if u == v {
+				t.Fatal("self loop survived generation")
+			}
+			if w := g.OutWeights(v)[i]; w <= 0 {
+				t.Fatalf("non-positive weight %v", w)
+			}
+		}
+	}
+	if res.Stats.Edges != g.NumEdges() {
+		t.Fatal("stats edge count mismatch")
+	}
+}
+
+func TestMeanDegreeApproximatesTarget(t *testing.T) {
+	res := generate(t, datagen.Config{ScaleFactor: 10, Seed: 3, AvgDegree: 20})
+	g := res.Graph
+	mean := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if mean < 10 || mean > 60 {
+		t.Fatalf("mean degree %v too far from target 20", mean)
+	}
+	st := g.OutDegreeStats()
+	if st.Max < 3*int(mean) {
+		t.Fatalf("degree distribution not skewed: max %d vs mean %v", st.Max, mean)
+	}
+}
+
+func TestClusteringCoefficientMonotonic(t *testing.T) {
+	// The paper's headline Datagen extension: the target CC knob must
+	// move the measured mean LCC in the right direction (Figure 2
+	// compares 0.05 against 0.3).
+	meanLCC := func(target float64) float64 {
+		res := generate(t, datagen.Config{ScaleFactor: 5, Seed: 21, TargetCC: target})
+		lcc := algorithms.RefLCC(res.Graph)
+		var sum float64
+		for _, v := range lcc {
+			sum += v
+		}
+		return sum / float64(len(lcc))
+	}
+	low := meanLCC(0.05)
+	high := meanLCC(0.30)
+	if high <= low {
+		t.Fatalf("mean LCC with target 0.30 (%v) must exceed target 0.05 (%v)", high, low)
+	}
+	if low <= 0 {
+		t.Fatalf("non-zero target must yield non-zero clustering, got %v", low)
+	}
+}
+
+func TestPersonsOverride(t *testing.T) {
+	res := generate(t, datagen.Config{Persons: 64, Seed: 1})
+	if res.Stats.Persons != 64 || res.Graph.NumVertices() != 64 {
+		t.Fatalf("persons = %d / |V| = %d, want 64", res.Stats.Persons, res.Graph.NumVertices())
+	}
+}
+
+func TestUnknownFlow(t *testing.T) {
+	_, err := datagen.Generate(datagen.Config{ScaleFactor: 1, Flow: datagen.Flow("bogus")})
+	if err == nil {
+		t.Fatal("expected error for unknown flow")
+	}
+}

@@ -1,0 +1,75 @@
+package datagen
+
+import (
+	"math"
+
+	"graphalytics/internal/xrand"
+)
+
+// Attribute cardinalities for the correlated person dimensions.
+const (
+	numCountries            = 50
+	universitiesPerCountry  = 20
+	numInterests            = 500
+	degreeDistributionAlpha = 2.2 // Pareto tail exponent, Facebook-like skew
+)
+
+// person is one node of the social network with its correlated attributes
+// and its remaining degree budget.
+type person struct {
+	id         int32
+	university int32
+	interest   int32
+	budget     int32 // target friendship count
+}
+
+// generatePersons creates the person table. Attributes are sampled from
+// skewed distributions, and the university is correlated with the country
+// (students of one country overwhelmingly attend its universities),
+// preserving Datagen's correlated-attribute property.
+func generatePersons(cfg Config) []person {
+	rng := xrand.New(cfg.Seed)
+	persons := make([]person, cfg.Persons)
+	for i := range persons {
+		r := rng.Fork(uint64(i))
+		country := skewedInt(r, numCountries)
+		uni := int32(country*universitiesPerCountry + skewedInt(r, universitiesPerCountry))
+		persons[i] = person{
+			id:         int32(i),
+			university: uni,
+			interest:   int32(skewedInt(r, numInterests)),
+			budget:     sampleDegree(r, cfg.AvgDegree, cfg.Persons),
+		}
+	}
+	return persons
+}
+
+// skewedInt draws an integer in [0, n) with a quadratically skewed
+// (Zipf-like) distribution: small values are much more likely.
+func skewedInt(r *xrand.Rand, n int) int {
+	u := r.Float64()
+	return int(u * u * float64(n))
+}
+
+// sampleDegree draws a target degree from a truncated Pareto distribution
+// with the configured mean, approximating the Facebook-like friendship
+// distribution Datagen produces. The cap prevents a single vertex from
+// absorbing the whole edge budget at small scales.
+func sampleDegree(r *xrand.Rand, mean float64, persons int) int32 {
+	// Pareto(alpha) with x_min chosen so the truncated mean matches.
+	alpha := degreeDistributionAlpha
+	xmin := mean * (alpha - 1) / alpha
+	u := r.Float64()
+	if u >= 1 {
+		u = 0.999999
+	}
+	d := xmin / math.Pow(1-u, 1/alpha)
+	cap64 := math.Sqrt(float64(persons)) * mean
+	if d > cap64 {
+		d = cap64
+	}
+	if d < 1 {
+		d = 1
+	}
+	return int32(math.Round(d))
+}

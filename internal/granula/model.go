@@ -1,0 +1,81 @@
+package granula
+
+import (
+	"fmt"
+	"time"
+)
+
+// PhaseSpec is one node of a performance model: a named phase, its
+// description for non-expert readers, whether a conforming archive must
+// contain it, and its expected sub-phases.
+type PhaseSpec struct {
+	Name        string
+	Description string
+	Required    bool
+	Children    []PhaseSpec
+}
+
+// Model is a platform performance model, defined once by a platform expert
+// (the Granula "modeler" module) so that the evaluation of every job on
+// that platform is automated.
+type Model struct {
+	Platform string
+	Phases   []PhaseSpec
+	// Metrics maps a derived-metric name to the path of the phase whose
+	// duration defines it, e.g. "Tproc" -> [ProcessGraph].
+	Metrics map[string][]string
+}
+
+// StandardModel returns the performance model shared by the engines in
+// this repository: Setup, LoadGraph, ProcessGraph (required; defines
+// Tproc) and Offload.
+func StandardModel(platform string) *Model {
+	return &Model{
+		Platform: platform,
+		Phases: []PhaseSpec{
+			{Name: PhaseSetup, Description: "allocate engine resources and simulated machines"},
+			{Name: PhaseLoad, Description: "move the uploaded graph into the engine's runtime structures"},
+			{Name: PhaseProcess, Description: "execute the algorithm; excludes platform overhead", Required: true},
+			{Name: PhaseOffload, Description: "collect per-vertex output from the engine"},
+		},
+		Metrics: map[string][]string{
+			"Tproc": {PhaseProcess},
+		},
+	}
+}
+
+// Validate checks that an archive conforms to the model: required phases
+// are present and no unknown top-level phases appear.
+func (m *Model) Validate(a *Archive) error {
+	if a.Platform != m.Platform {
+		return fmt.Errorf("granula: archive for platform %q validated against model for %q", a.Platform, m.Platform)
+	}
+	if a.Root == nil {
+		return fmt.Errorf("granula: archive has no root operation")
+	}
+	known := make(map[string]PhaseSpec, len(m.Phases))
+	for _, p := range m.Phases {
+		known[p.Name] = p
+		if p.Required && a.Root.Child(p.Name) == nil {
+			return fmt.Errorf("granula: required phase %q missing from archive", p.Name)
+		}
+	}
+	for _, c := range a.Root.Children {
+		if _, ok := known[c.Name]; !ok {
+			return fmt.Errorf("granula: archive contains phase %q not in the %s model", c.Name, m.Platform)
+		}
+	}
+	return nil
+}
+
+// Derive extracts the model's derived metrics from an archive. Metrics
+// whose phase is absent are omitted.
+func (m *Model) Derive(a *Archive) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(m.Metrics))
+	for name, path := range m.Metrics {
+		if op := a.Root.Find(path...); op != nil {
+			out[name] = op.Duration()
+		}
+	}
+	return out
+}

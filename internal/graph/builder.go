@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Build errors reported by Builder.Build for inputs that violate the
+// Graphalytics data model.
+var (
+	// ErrSelfLoop is returned when an edge connects a vertex to itself and
+	// the builder is not configured to drop such edges.
+	ErrSelfLoop = errors.New("graph: self-loop edge")
+	// ErrDuplicateEdge is returned when the same edge occurs twice and the
+	// builder is not configured to deduplicate.
+	ErrDuplicateEdge = errors.New("graph: duplicate edge")
+)
+
+// BuildOptions control how a Builder normalizes its input into a valid
+// Graphalytics graph. The zero value is strict: duplicate edges and
+// self-loops are build errors, matching the specification's requirement
+// that "every edge must be unique and connect two distinct vertices".
+type BuildOptions struct {
+	// DedupEdges silently drops repeated edges (keeping the first
+	// occurrence, including its weight) instead of failing.
+	DedupEdges bool
+	// DropSelfLoops silently drops edges whose endpoints are equal instead
+	// of failing. Synthetic generators such as Graph500 produce both
+	// self-loops and duplicates and rely on these options.
+	DropSelfLoops bool
+}
+
+// Builder accumulates vertices and edges and assembles an immutable Graph.
+// Vertices referenced by edges are added implicitly; isolated vertices must
+// be added explicitly with AddVertex. A Builder must not be used
+// concurrently from multiple goroutines.
+type Builder struct {
+	name     string
+	directed bool
+	weighted bool
+	opts     BuildOptions
+	vertices []int64
+	edges    []Edge
+}
+
+// NewBuilder returns a Builder for a graph with the given direction and
+// weight configuration and strict build options.
+func NewBuilder(directed, weighted bool) *Builder {
+	return &Builder{directed: directed, weighted: weighted}
+}
+
+// SetName sets the name recorded on the built graph.
+func (b *Builder) SetName(name string) *Builder { b.name = name; return b }
+
+// SetOptions replaces the build options.
+func (b *Builder) SetOptions(opts BuildOptions) *Builder { b.opts = opts; return b }
+
+// Grow pre-allocates capacity for the given number of vertices and edges.
+func (b *Builder) Grow(vertices, edges int) {
+	if cap(b.vertices)-len(b.vertices) < vertices {
+		nv := make([]int64, len(b.vertices), len(b.vertices)+vertices)
+		copy(nv, b.vertices)
+		b.vertices = nv
+	}
+	if cap(b.edges)-len(b.edges) < edges {
+		ne := make([]Edge, len(b.edges), len(b.edges)+edges)
+		copy(ne, b.edges)
+		b.edges = ne
+	}
+}
+
+// AddVertex registers a vertex. Adding the same identifier twice is
+// harmless.
+func (b *Builder) AddVertex(id int64) { b.vertices = append(b.vertices, id) }
+
+// AddEdge adds an unweighted edge.
+func (b *Builder) AddEdge(src, dst int64) { b.edges = append(b.edges, Edge{Src: src, Dst: dst}) }
+
+// AddWeightedEdge adds an edge with weight w. The weight is ignored when
+// the builder was created with weighted=false.
+func (b *Builder) AddWeightedEdge(src, dst int64, w float64) {
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: w})
+}
+
+// NumEdgesAdded returns how many edges have been added so far (before any
+// normalization).
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Build validates and normalizes the accumulated input and returns the
+// immutable Graph. The Builder can be reused afterwards, but the built
+// graph does not alias builder memory.
+func (b *Builder) Build() (*Graph, error) {
+	ids := b.collectIDs()
+	index := make(map[int64]int32, len(ids))
+	for i, id := range ids {
+		index[id] = int32(i)
+	}
+
+	type iedge struct {
+		src, dst int32
+		w        float64
+	}
+	edges := make([]iedge, 0, len(b.edges))
+	for _, e := range b.edges {
+		s, d := index[e.Src], index[e.Dst]
+		if s == d {
+			if b.opts.DropSelfLoops {
+				continue
+			}
+			return nil, fmt.Errorf("%w: vertex %d", ErrSelfLoop, e.Src)
+		}
+		if !b.directed && s > d {
+			s, d = d, s // canonical order for undirected dedup
+		}
+		edges = append(edges, iedge{src: s, dst: d, w: e.Weight})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].src != edges[j].src {
+			return edges[i].src < edges[j].src
+		}
+		return edges[i].dst < edges[j].dst
+	})
+	// Deduplicate in place.
+	uniq := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e.src == edges[i-1].src && e.dst == edges[i-1].dst {
+			if b.opts.DedupEdges {
+				continue
+			}
+			return nil, fmt.Errorf("%w: (%d, %d)", ErrDuplicateEdge, ids[e.src], ids[e.dst])
+		}
+		uniq = append(uniq, e)
+	}
+	edges = uniq
+
+	g := &Graph{
+		name:     b.name,
+		directed: b.directed,
+		weighted: b.weighted,
+		ids:      ids,
+		numEdges: int64(len(edges)),
+	}
+
+	n := len(ids)
+	if b.directed {
+		g.outOff, g.outAdj, g.outW = buildCSR(n, len(edges), b.weighted, func(yield func(src, dst int32, w float64)) {
+			for _, e := range edges {
+				yield(e.src, e.dst, e.w)
+			}
+		})
+		g.inOff, g.inAdj, g.inW = buildCSR(n, len(edges), b.weighted, func(yield func(src, dst int32, w float64)) {
+			for _, e := range edges {
+				yield(e.dst, e.src, e.w)
+			}
+		})
+	} else {
+		g.outOff, g.outAdj, g.outW = buildCSR(n, 2*len(edges), b.weighted, func(yield func(src, dst int32, w float64)) {
+			for _, e := range edges {
+				yield(e.src, e.dst, e.w)
+				yield(e.dst, e.src, e.w)
+			}
+		})
+		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
+	}
+	return g, nil
+}
+
+// collectIDs gathers the distinct external identifiers from explicit
+// vertices and edge endpoints, sorted ascending.
+func (b *Builder) collectIDs() []int64 {
+	all := make([]int64, 0, len(b.vertices)+2*len(b.edges))
+	all = append(all, b.vertices...)
+	for _, e := range b.edges {
+		all = append(all, e.Src, e.Dst)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	uniq := all[:0]
+	for i, id := range all {
+		if i == 0 || id != all[i-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	ids := make([]int64, len(uniq))
+	copy(ids, uniq)
+	return ids
+}
+
+// buildCSR constructs one adjacency direction. emit must yield directed
+// arcs; arcs are grouped by source with destinations in ascending order
+// (the caller provides arcs sorted by (src, dst) for the out direction; the
+// in direction is re-sorted here via counting sort by source, which keeps
+// destinations ordered because the input is stable-sorted by dst).
+func buildCSR(n, arcs int, weighted bool, emit func(yield func(src, dst int32, w float64))) ([]int64, []int32, []float64) {
+	off := make([]int64, n+1)
+	emit(func(src, _ int32, _ float64) { off[src+1]++ })
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	adj := make([]int32, arcs)
+	var ws []float64
+	if weighted {
+		ws = make([]float64, arcs)
+	}
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	emit(func(src, dst int32, w float64) {
+		p := cursor[src]
+		cursor[src]++
+		adj[p] = dst
+		if weighted {
+			ws[p] = w
+		}
+	})
+	// Destinations must be sorted per source for binary-search lookups.
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		if !sort.SliceIsSorted(adj[lo:hi], func(i, j int) bool { return adj[lo:hi][i] < adj[lo:hi][j] }) {
+			seg := adj[lo:hi]
+			if weighted {
+				wseg := ws[lo:hi]
+				sort.Sort(&adjWeightSorter{adj: seg, w: wseg})
+			} else {
+				sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			}
+		}
+	}
+	return off, adj, ws
+}
+
+// adjWeightSorter sorts an adjacency segment and its parallel weight
+// segment together by neighbor index.
+type adjWeightSorter struct {
+	adj []int32
+	w   []float64
+}
+
+func (s *adjWeightSorter) Len() int           { return len(s.adj) }
+func (s *adjWeightSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s *adjWeightSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}

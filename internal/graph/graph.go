@@ -1,0 +1,196 @@
+// Package graph implements the Graphalytics data model: a graph is a set of
+// vertices, each identified by a unique 64-bit integer, and a set of unique
+// edges connecting two distinct vertices. Graphs are directed or undirected
+// and optionally carry double-precision floating-point edge weights.
+//
+// Graphs are immutable once built. Internally the package stores a graph in
+// compressed sparse row (CSR) form, with both out- and in-adjacency for
+// directed graphs so that algorithms can traverse edges in either direction.
+// Vertices are addressed by dense internal indices in [0, NumVertices());
+// external identifiers are mapped via a sorted identifier table.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable graph in CSR form. Use a Builder to construct one.
+type Graph struct {
+	name     string
+	directed bool
+	weighted bool
+
+	// ids maps internal vertex index -> external identifier and is sorted
+	// in ascending order, enabling binary-search lookup in Index.
+	ids []int64
+
+	outOff []int64
+	outAdj []int32
+	outW   []float64
+
+	// For undirected graphs the in-slices alias the out-slices.
+	inOff []int64
+	inAdj []int32
+	inW   []float64
+
+	numEdges int64 // logical edges: an undirected edge counts once
+}
+
+// Name returns the graph's name (may be empty).
+func (g *Graph) Name() string { return g.name }
+
+// Directed reports whether edges are ordered pairs.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Weighted reports whether edges carry float64 weights.
+func (g *Graph) Weighted() bool { return g.weighted }
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.ids) }
+
+// NumEdges returns |E|, counting each undirected edge once.
+func (g *Graph) NumEdges() int64 { return g.numEdges }
+
+// VertexID returns the external identifier of internal vertex v.
+func (g *Graph) VertexID(v int32) int64 { return g.ids[v] }
+
+// IDs returns the full internal-index -> external-identifier table.
+// The returned slice must not be modified.
+func (g *Graph) IDs() []int64 { return g.ids }
+
+// Index returns the internal index for external identifier id.
+func (g *Graph) Index(id int64) (int32, bool) {
+	i := sort.Search(len(g.ids), func(i int) bool { return g.ids[i] >= id })
+	if i < len(g.ids) && g.ids[i] == id {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// OutDegree returns the number of outgoing edges of v (degree for
+// undirected graphs).
+func (g *Graph) OutDegree(v int32) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the number of incoming edges of v (degree for
+// undirected graphs).
+func (g *Graph) InDegree(v int32) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// OutNeighbors returns the internal indices of v's out-neighbors in
+// ascending order. The returned slice aliases internal storage and must not
+// be modified.
+func (g *Graph) OutNeighbors(v int32) []int32 { return g.outAdj[g.outOff[v]:g.outOff[v+1]] }
+
+// InNeighbors returns the internal indices of v's in-neighbors in ascending
+// order. The returned slice aliases internal storage and must not be
+// modified.
+func (g *Graph) InNeighbors(v int32) []int32 { return g.inAdj[g.inOff[v]:g.inOff[v+1]] }
+
+// OutWeights returns the weights parallel to OutNeighbors(v). It returns nil
+// for unweighted graphs.
+func (g *Graph) OutWeights(v int32) []float64 {
+	if !g.weighted {
+		return nil
+	}
+	return g.outW[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InWeights returns the weights parallel to InNeighbors(v). It returns nil
+// for unweighted graphs.
+func (g *Graph) InWeights(v int32) []float64 {
+	if !g.weighted {
+		return nil
+	}
+	return g.inW[g.inOff[v]:g.inOff[v+1]]
+}
+
+// HasEdge reports whether the edge (src, dst), given as internal indices,
+// exists. For undirected graphs the order of endpoints is irrelevant.
+func (g *Graph) HasEdge(src, dst int32) bool {
+	adj := g.OutNeighbors(src)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= dst })
+	return i < len(adj) && adj[i] == dst
+}
+
+// MemoryFootprint returns the approximate number of bytes held by the
+// graph's internal arrays. The cluster simulator uses this to account for
+// per-machine memory budgets.
+func (g *Graph) MemoryFootprint() int64 {
+	bytes := int64(len(g.ids)) * 8
+	bytes += int64(len(g.outOff))*8 + int64(len(g.outAdj))*4 + int64(len(g.outW))*8
+	if g.directed {
+		bytes += int64(len(g.inOff))*8 + int64(len(g.inAdj))*4 + int64(len(g.inW))*8
+	}
+	return bytes
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	w := ""
+	if g.weighted {
+		w = ", weighted"
+	}
+	return fmt.Sprintf("graph %q (%s%s, |V|=%d, |E|=%d)", g.name, kind, w, g.NumVertices(), g.numEdges)
+}
+
+// CopyCSR returns fresh copies of one adjacency direction's raw CSR
+// arrays (offsets, neighbor indices, weights or nil). Engines that
+// maintain their own storage use this during upload conversion.
+func (g *Graph) CopyCSR(in bool) ([]int64, []int32, []float64) {
+	var off []int64
+	var adj []int32
+	var w []float64
+	if in {
+		off = append([]int64(nil), g.inOff...)
+		adj = append([]int32(nil), g.inAdj...)
+		if g.weighted {
+			w = append([]float64(nil), g.inW...)
+		}
+	} else {
+		off = append([]int64(nil), g.outOff...)
+		adj = append([]int32(nil), g.outAdj...)
+		if g.weighted {
+			w = append([]float64(nil), g.outW...)
+		}
+	}
+	return off, adj, w
+}
+
+// Edge is a single edge in external-identifier space, used by builders,
+// generators and the text formats.
+type Edge struct {
+	Src, Dst int64
+	Weight   float64
+}
+
+// Edges returns all logical edges in external-identifier space, sorted by
+// (Src, Dst). For undirected graphs each edge appears once with
+// Src <= Dst. The slice is freshly allocated.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	for v := int32(0); v < int32(len(g.ids)); v++ {
+		adj := g.OutNeighbors(v)
+		ws := g.OutWeights(v)
+		for i, u := range adj {
+			if !g.directed && g.ids[u] < g.ids[v] {
+				continue // emit undirected edges once, from the smaller endpoint
+			}
+			e := Edge{Src: g.ids[v], Dst: g.ids[u]}
+			if ws != nil {
+				e.Weight = ws[i]
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}

@@ -1,0 +1,87 @@
+package graph_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphalytics/internal/graph"
+)
+
+func TestReadVE(t *testing.T) {
+	v := strings.NewReader("# vertices\n1\n2\n3\n\n4\n")
+	e := strings.NewReader("1 2 0.5\n2 3 1.5\n# comment\n3 1 2.25\n")
+	g, err := graph.ReadVE(v, e, "t", true, true, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("got |V|=%d |E|=%d, want 4, 3", g.NumVertices(), g.NumEdges())
+	}
+	v1, _ := g.Index(1)
+	if w := g.OutWeights(v1); len(w) != 1 || w[0] != 0.5 {
+		t.Fatalf("weights of 1 = %v, want [0.5]", w)
+	}
+}
+
+func TestReadVEErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		v, e     string
+		weighted bool
+	}{
+		{"bad vertex id", "abc\n", "", false},
+		{"too few edge fields", "1\n2\n", "1\n", false},
+		{"bad src", "1\n2\n", "x 2\n", false},
+		{"bad dst", "1\n2\n", "1 x\n", false},
+		{"missing weight", "1\n2\n", "1 2\n", true},
+		{"bad weight", "1\n2\n", "1 2 zz\n", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := graph.ReadVE(strings.NewReader(tc.v), strings.NewReader(tc.e), "t", true, tc.weighted, graph.BuildOptions{})
+			if err == nil {
+				t.Fatal("expected a parse error")
+			}
+		})
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	vPath := filepath.Join(dir, "g.v")
+	ePath := filepath.Join(dir, "g.e")
+
+	b := graph.NewBuilder(false, true)
+	b.SetName("roundtrip")
+	b.AddVertex(10) // isolated vertex must survive the round trip
+	b.AddWeightedEdge(1, 2, 0.125)
+	b.AddWeightedEdge(2, 5, 3.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.SaveVE(g, vPath, ePath); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.LoadVE(vPath, ePath, false, true, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got |V|=%d |E|=%d, want %d, %d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	e1, e2 := g.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestLoadVEMissingFile(t *testing.T) {
+	if _, err := graph.LoadVE("/nonexistent.v", "/nonexistent.e", true, false, graph.BuildOptions{}); err == nil {
+		t.Fatal("expected an error for a missing file")
+	}
+}

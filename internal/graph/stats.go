@@ -1,0 +1,53 @@
+package graph
+
+import "math"
+
+// DegreeStats summarizes the out-degree distribution of a graph.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// StdDev is the population standard deviation of the out-degree.
+	StdDev float64
+}
+
+// OutDegreeStats computes degree statistics over all vertices. For
+// undirected graphs this is the plain degree distribution.
+func (g *Graph) OutDegreeStats() DegreeStats {
+	n := g.NumVertices()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	st := DegreeStats{Min: math.MaxInt}
+	var sum, sumSq float64
+	for v := int32(0); v < int32(n); v++ {
+		d := g.OutDegree(v)
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+	}
+	st.Mean = sum / float64(n)
+	variance := sumSq/float64(n) - st.Mean*st.Mean
+	if variance > 0 {
+		st.StdDev = math.Sqrt(variance)
+	}
+	return st
+}
+
+// DegreeHistogram returns counts of vertices per out-degree, truncated at
+// maxDegree (degrees above maxDegree are accumulated in the final bucket).
+func (g *Graph) DegreeHistogram(maxDegree int) []int64 {
+	h := make([]int64, maxDegree+1)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		d := g.OutDegree(v)
+		if d > maxDegree {
+			d = maxDegree
+		}
+		h[d]++
+	}
+	return h
+}

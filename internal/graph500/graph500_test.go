@@ -1,0 +1,104 @@
+package graph500_test
+
+import (
+	"testing"
+
+	"graphalytics/internal/graph500"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	g, err := graph500.Generate(graph500.Config{Scale: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 {
+		t.Fatalf("|V| = %d, want 2^8", g.NumVertices())
+	}
+	if g.Directed() {
+		t.Fatal("default Graph500 output is undirected")
+	}
+	// The builder dedups and drops self-loops, so |E| < edgefactor * |V|
+	// but should remain a large fraction of it.
+	raw := int64(16 * 256)
+	if g.NumEdges() <= raw/4 || g.NumEdges() >= raw {
+		t.Fatalf("|E| = %d, want within (raw/4, raw) of %d", g.NumEdges(), raw)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := graph500.Generate(graph500.Config{Scale: 7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := graph500.Generate(graph500.Config{Scale: 7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g, err := graph500.Generate(graph500.Config{Scale: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.OutDegreeStats()
+	if float64(st.Max) < 5*st.Mean {
+		t.Fatalf("R-MAT output not skewed: max degree %d vs mean %.1f", st.Max, st.Mean)
+	}
+}
+
+func TestWeightedAndDirected(t *testing.T) {
+	g, err := graph500.Generate(graph500.Config{Scale: 6, Seed: 2, Weighted: true, Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() || !g.Directed() {
+		t.Fatal("options not honored")
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, w := range g.OutWeights(v) {
+			if w <= 0 {
+				t.Fatalf("non-positive weight %v", w)
+			}
+		}
+	}
+}
+
+func TestNoSelfLoopsOrDuplicates(t *testing.T) {
+	g, err := graph500.Generate(graph500.Config{Scale: 7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int64]bool)
+	for _, e := range g.Edges() {
+		if e.Src == e.Dst {
+			t.Fatal("self loop in output")
+		}
+		key := [2]int64{e.Src, e.Dst}
+		if seen[key] {
+			t.Fatal("duplicate edge in output")
+		}
+		seen[key] = true
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := graph500.Generate(graph500.Config{Scale: 0}); err == nil {
+		t.Fatal("scale 0 must be rejected")
+	}
+	if _, err := graph500.Generate(graph500.Config{Scale: 31}); err == nil {
+		t.Fatal("scale 31 must be rejected")
+	}
+	if _, err := graph500.Generate(graph500.Config{Scale: 5, A: 0.5, B: 0.3, C: 0.3}); err == nil {
+		t.Fatal("probabilities summing to >= 1 must be rejected")
+	}
+}

@@ -1,0 +1,141 @@
+// Package metrics implements the Graphalytics benchmark metrics: the graph
+// scale function and its "T-shirt size" classes, the throughput metrics EPS
+// and EVPS, the scalability metric speedup, and the robustness metric
+// coefficient of variation (Section 2.3 of the paper).
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Scale computes the Graphalytics scale of a graph,
+// s(V,E) = log10(|V| + |E|), rounded to one decimal place.
+func Scale(numVertices int, numEdges int64) float64 {
+	total := float64(numVertices) + float64(numEdges)
+	if total <= 0 {
+		return 0
+	}
+	return math.Round(math.Log10(total)*10) / 10
+}
+
+// Class is a dataset size class ("T-shirt size").
+type Class string
+
+// The classes of Table 2. Classes span 0.5 scale units; the reference point
+// is class L.
+const (
+	Class2XS Class = "2XS"
+	ClassXS  Class = "XS"
+	ClassS   Class = "S"
+	ClassM   Class = "M"
+	ClassL   Class = "L"
+	ClassXL  Class = "XL"
+	Class2XL Class = "2XL"
+)
+
+// classBounds mirrors Table 2: scale < 7 is 2XS, [7,7.5) XS, [7.5,8) S,
+// [8,8.5) M, [8.5,9) L, [9,9.5) XL, >= 9.5 2XL.
+var classBounds = []struct {
+	upper float64 // exclusive
+	class Class
+}{
+	{7.0, Class2XS},
+	{7.5, ClassXS},
+	{8.0, ClassS},
+	{8.5, ClassM},
+	{9.0, ClassL},
+	{9.5, ClassXL},
+}
+
+// ClassOf maps a scale value to its T-shirt class per Table 2.
+func ClassOf(scale float64) Class {
+	for _, b := range classBounds {
+		if scale < b.upper {
+			return b.class
+		}
+	}
+	return Class2XL
+}
+
+// ClassOrder returns a small integer ordering classes from 2XS (0) upward,
+// for sorting datasets by class.
+func ClassOrder(c Class) int {
+	switch c {
+	case Class2XS:
+		return 0
+	case ClassXS:
+		return 1
+	case ClassS:
+		return 2
+	case ClassM:
+		return 3
+	case ClassL:
+		return 4
+	case ClassXL:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// EPS returns edges per second: |E| / Tproc.
+func EPS(numEdges int64, tproc time.Duration) float64 {
+	s := tproc.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(numEdges) / s
+}
+
+// EVPS returns edges and vertices per second: (|V| + |E|) / Tproc. EVPS is
+// closely related to graph scale (|V|+|E| = 10^scale).
+func EVPS(numVertices int, numEdges int64, tproc time.Duration) float64 {
+	s := tproc.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return (float64(numVertices) + float64(numEdges)) / s
+}
+
+// Speedup returns the ratio between baseline and scaled processing time.
+// The baseline is the minimum amount of resources with which the platform
+// completes the workload.
+func Speedup(baseline, scaled time.Duration) float64 {
+	if scaled <= 0 {
+		return 0
+	}
+	return baseline.Seconds() / scaled.Seconds()
+}
+
+// Mean returns the arithmetic mean of the sample durations.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / time.Duration(len(samples))
+}
+
+// CV returns the coefficient of variation of the samples: the ratio between
+// the sample standard deviation and the mean. Its advantage as a
+// variability metric is independence from the scale of the results.
+func CV(samples []time.Duration) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	mean := Mean(samples).Seconds()
+	if mean == 0 {
+		return 0
+	}
+	var sq float64
+	for _, s := range samples {
+		d := s.Seconds() - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq / float64(len(samples)-1))
+	return std / mean
+}

@@ -1,0 +1,156 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"graphalytics/internal/metrics"
+)
+
+func TestScaleAgainstPaperTable3(t *testing.T) {
+	// The paper's Table 3 reports scales for its real datasets; the scale
+	// function must reproduce them from |V| and |E|.
+	cases := []struct {
+		name  string
+		v     int
+		e     int64
+		scale float64
+	}{
+		{"wiki-talk", 2_390_000, 5_020_000, 6.9},
+		{"kgs", 830_000, 17_900_000, 7.3},
+		{"cit-patents", 3_770_000, 16_500_000, 7.3},
+		{"dota-league", 610_000, 50_900_000, 7.7},
+		{"com-friendster", 65_600_000, 1_810_000_000, 9.3},
+		{"twitter_mpi", 52_600_000, 1_970_000_000, 9.3},
+		{"datagen-1000", 12_800_000, 1_010_000_000, 9.0},
+		{"graph500-22", 2_400_000, 64_200_000, 7.8},
+	}
+	for _, tc := range cases {
+		if got := metrics.Scale(tc.v, tc.e); got != tc.scale {
+			t.Errorf("%s: scale = %v, want %v", tc.name, got, tc.scale)
+		}
+	}
+}
+
+func TestScaleDegenerate(t *testing.T) {
+	if got := metrics.Scale(0, 0); got != 0 {
+		t.Fatalf("Scale(0,0) = %v, want 0", got)
+	}
+}
+
+func TestClassOfTable2(t *testing.T) {
+	cases := []struct {
+		scale float64
+		class metrics.Class
+	}{
+		{6.9, metrics.Class2XS},
+		{7.0, metrics.ClassXS},
+		{7.3, metrics.ClassXS},
+		{7.5, metrics.ClassS},
+		{7.7, metrics.ClassS},
+		{8.0, metrics.ClassM},
+		{8.4, metrics.ClassM},
+		{8.5, metrics.ClassL},
+		{8.7, metrics.ClassL},
+		{9.0, metrics.ClassXL},
+		{9.3, metrics.ClassXL},
+		{9.5, metrics.Class2XL},
+		{11.0, metrics.Class2XL},
+	}
+	for _, tc := range cases {
+		if got := metrics.ClassOf(tc.scale); got != tc.class {
+			t.Errorf("ClassOf(%v) = %s, want %s", tc.scale, got, tc.class)
+		}
+	}
+}
+
+func TestClassOrderMonotonic(t *testing.T) {
+	ordered := []metrics.Class{
+		metrics.Class2XS, metrics.ClassXS, metrics.ClassS, metrics.ClassM,
+		metrics.ClassL, metrics.ClassXL, metrics.Class2XL,
+	}
+	for i := 1; i < len(ordered); i++ {
+		if metrics.ClassOrder(ordered[i-1]) >= metrics.ClassOrder(ordered[i]) {
+			t.Fatalf("ClassOrder not monotonic at %s", ordered[i])
+		}
+	}
+}
+
+func TestClassMonotonicInScaleProperty(t *testing.T) {
+	check := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return metrics.ClassOrder(metrics.ClassOf(a)) <= metrics.ClassOrder(metrics.ClassOf(b))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEPSAndEVPS(t *testing.T) {
+	// The EVPS definition: |V|+|E| = 10^scale divided by Tproc.
+	if got := metrics.EPS(2_000_000, time.Second); got != 2e6 {
+		t.Fatalf("EPS = %v, want 2e6", got)
+	}
+	if got := metrics.EVPS(500_000, 1_500_000, 2*time.Second); got != 1e6 {
+		t.Fatalf("EVPS = %v, want 1e6", got)
+	}
+	if metrics.EPS(100, 0) != 0 || metrics.EVPS(1, 1, 0) != 0 {
+		t.Fatal("zero Tproc must yield zero throughput, not a division error")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := metrics.Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Fatalf("speedup = %v, want 5", got)
+	}
+	if metrics.Speedup(time.Second, 0) != 0 {
+		t.Fatal("zero scaled time must not divide by zero")
+	}
+}
+
+func TestMeanAndCV(t *testing.T) {
+	samples := []time.Duration{10 * time.Second, 12 * time.Second, 8 * time.Second, 10 * time.Second}
+	if got := metrics.Mean(samples); got != 10*time.Second {
+		t.Fatalf("mean = %v, want 10s", got)
+	}
+	// Sample stddev of {10,12,8,10} = sqrt((0+4+4+0)/3) = 1.633; CV = 0.1633.
+	cv := metrics.CV(samples)
+	if math.Abs(cv-0.16330) > 1e-4 {
+		t.Fatalf("CV = %v, want ~0.1633", cv)
+	}
+	if metrics.CV(samples[:1]) != 0 {
+		t.Fatal("CV of a single sample must be 0")
+	}
+	if metrics.Mean(nil) != 0 {
+		t.Fatal("mean of no samples must be 0")
+	}
+}
+
+func TestCVScaleIndependenceProperty(t *testing.T) {
+	// The paper picks CV for its independence of the scale of results:
+	// multiplying all samples by a constant must not change it.
+	check := func(a, b, c uint16, k uint8) bool {
+		if k == 0 {
+			return true
+		}
+		base := []time.Duration{
+			time.Duration(a) + time.Millisecond,
+			time.Duration(b) + time.Millisecond,
+			time.Duration(c) + time.Millisecond,
+		}
+		scaled := make([]time.Duration, len(base))
+		for i, s := range base {
+			scaled[i] = s * time.Duration(k)
+		}
+		c1, c2 := metrics.CV(base), metrics.CV(scaled)
+		return math.Abs(c1-c2) <= 1e-7*(c1+c2+1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

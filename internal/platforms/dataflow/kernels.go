@@ -1,0 +1,483 @@
+package dataflow
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/platform"
+)
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// emitter stages the messages produced while scanning one edge partition.
+type emitter[M any] struct {
+	dst []int32
+	msg []M
+}
+
+// emit queues a message for vertex dst.
+func (em *emitter[M]) emit(dst int32, m M) {
+	em.dst = append(em.dst, dst)
+	em.msg = append(em.msg, m)
+}
+
+// keyed is one shuffled message record.
+type keyed[M any] struct {
+	key int32
+	msg M
+}
+
+// aggregate runs one aggregateMessages dataflow: an edge-stage round that
+// scans every edge partition and emits messages, a shuffle of the emitted
+// messages to vertex partitions, and a vertex-stage round that merges
+// messages by key into fresh hash maps and joins them with the vertex
+// dataset via apply. shipFraction scales the attribute-shuffle traffic
+// (1 for dense iterations, the active fraction for sparse ones);
+// msgBytes is the wire size of one message.
+func aggregate[M any](ctx context.Context, u *uploaded, shipFraction float64, msgBytes int64,
+	send func(em *emitter[M], ep *edgePartition),
+	merge func(a, b M) M,
+	apply func(vpart int, v int32, msg M, has bool)) error {
+
+	if err := platform.CheckContext(ctx); err != nil {
+		return err
+	}
+	cl := u.Cl
+	inbox := make([][]keyed[M], len(u.vparts))
+
+	// Edge stage: scan partitions, emit, route to vertex partitions.
+	if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+		var mine []int
+		for p := range u.eparts {
+			if int(u.emachine[p]) == mach {
+				mine = append(mine, p)
+			}
+		}
+		emitters := make([]*emitter[M], len(mine))
+		th.For(len(mine), func(i int) {
+			em := &emitter[M]{}
+			send(em, u.eparts[mine[i]])
+			emitters[i] = em
+		})
+		var wire int64
+		for i, em := range emitters {
+			epMach := u.emachine[mine[i]]
+			for k, dst := range em.dst {
+				vp := u.vpartOf[dst]
+				inbox[vp] = append(inbox[vp], keyed[M]{key: dst, msg: em.msg[k]})
+				if u.machineOf[vp] != epMach {
+					wire += msgBytes + 4
+				}
+			}
+		}
+		cl.Send(mach, (mach+1)%cl.Machines(), wire)
+		if shipFraction > 0 {
+			cl.Send(mach, (mach+1)%cl.Machines(), int64(float64(u.shipBytes[mach])*shipFraction))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Vertex stage: reduce by key and join with the vertex dataset.
+	return cl.RunRound(func(mach int, th *cluster.Threads) error {
+		var mine []int
+		for p := range u.vparts {
+			if int(u.machineOf[p]) == mach {
+				mine = append(mine, p)
+			}
+		}
+		th.For(len(mine), func(i int) {
+			p := mine[i]
+			merged := make(map[int32]M, len(inbox[p]))
+			for _, kv := range inbox[p] {
+				if cur, ok := merged[kv.key]; ok {
+					merged[kv.key] = merge(cur, kv.msg)
+				} else {
+					merged[kv.key] = kv.msg
+				}
+			}
+			inbox[p] = nil
+			for _, v := range u.vparts[p] {
+				m, ok := merged[v]
+				apply(p, v, m, ok)
+			}
+		})
+		return nil
+	})
+}
+
+// prFlow is PageRank as iterated aggregateMessages with a sum reducer.
+func prFlow(ctx context.Context, u *uploaded, iterations int, damping float64) ([]float64, error) {
+	n := u.G.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	directed := u.G.Directed()
+	inv := 1.0 / float64(n)
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	danglingParts := make([]float64, len(u.vparts))
+	dangling := 0.0
+	for v := 0; v < n; v++ {
+		if u.degrees[v] == 0 {
+			dangling += rank[v]
+		}
+	}
+	for it := 0; it < iterations; it++ {
+		base := (1-damping)*inv + damping*dangling*inv
+		for i := range danglingParts {
+			danglingParts[i] = 0
+		}
+		err := aggregate(ctx, u, 1, 8,
+			func(em *emitter[float64], ep *edgePartition) {
+				srcAttr := make(map[int32]float64, len(ep.needSrc))
+				for _, v := range ep.needSrc {
+					if d := u.degrees[v]; d > 0 {
+						srcAttr[v] = rank[v] / float64(d)
+					}
+				}
+				var dstAttr map[int32]float64
+				if !directed {
+					dstAttr = make(map[int32]float64, len(ep.needDst))
+					for _, v := range ep.needDst {
+						if d := u.degrees[v]; d > 0 {
+							dstAttr[v] = rank[v] / float64(d)
+						}
+					}
+				}
+				for i, s := range ep.src {
+					d := ep.dst[i]
+					if c, ok := srcAttr[s]; ok {
+						em.emit(d, c)
+					}
+					if !directed {
+						if c, ok := dstAttr[d]; ok {
+							em.emit(s, c)
+						}
+					}
+				}
+			},
+			func(a, b float64) float64 { return a + b },
+			func(vp int, v int32, msg float64, has bool) {
+				nv := base
+				if has {
+					nv = base + damping*msg
+				}
+				rank[v] = nv
+				if u.degrees[v] == 0 {
+					danglingParts[vp] += nv
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		dangling = 0
+		for _, d := range danglingParts {
+			dangling += d
+		}
+	}
+	return rank, nil
+}
+
+// bfsFlow is Pregel-on-dataflow BFS: every level rescans all edge
+// partitions, filtering triplets by the active flag of the source.
+func bfsFlow(ctx context.Context, u *uploaded, source int32) ([]int64, error) {
+	n := u.G.NumVertices()
+	directed := u.G.Directed()
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = algorithms.Unreachable
+	}
+	depth[source] = 0
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	active[source] = true
+	activeCount := 1
+	for activeCount > 0 {
+		updates := make([]int, len(u.vparts))
+		frac := float64(activeCount) / float64(n)
+		err := aggregate(ctx, u, frac, 8,
+			func(em *emitter[int64], ep *edgePartition) {
+				for i, s := range ep.src {
+					d := ep.dst[i]
+					if active[s] && depth[d] == algorithms.Unreachable {
+						em.emit(d, depth[s]+1)
+					}
+					if !directed && active[d] && depth[s] == algorithms.Unreachable {
+						em.emit(s, depth[d]+1)
+					}
+				}
+			},
+			func(a, b int64) int64 {
+				if a < b {
+					return a
+				}
+				return b
+			},
+			func(vp int, v int32, msg int64, has bool) {
+				nextActive[v] = false
+				if has && depth[v] == algorithms.Unreachable {
+					depth[v] = msg
+					nextActive[v] = true
+					updates[vp]++
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		active, nextActive = nextActive, active
+		activeCount = 0
+		for _, c := range updates {
+			activeCount += c
+		}
+	}
+	return depth, nil
+}
+
+// wccFlow floods minimum labels along both triplet directions until no
+// vertex changes.
+func wccFlow(ctx context.Context, u *uploaded) ([]int64, error) {
+	n := u.G.NumVertices()
+	labels := make([]int64, n)
+	for v := 0; v < n; v++ {
+		labels[v] = u.G.VertexID(int32(v))
+	}
+	minMerge := func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for {
+		changes := make([]int, len(u.vparts))
+		err := aggregate(ctx, u, 1, 8,
+			func(em *emitter[int64], ep *edgePartition) {
+				srcAttr := make(map[int32]int64, len(ep.needSrc))
+				for _, v := range ep.needSrc {
+					srcAttr[v] = labels[v]
+				}
+				dstAttr := make(map[int32]int64, len(ep.needDst))
+				for _, v := range ep.needDst {
+					dstAttr[v] = labels[v]
+				}
+				for i, s := range ep.src {
+					d := ep.dst[i]
+					em.emit(d, srcAttr[s])
+					em.emit(s, dstAttr[d])
+				}
+			},
+			minMerge,
+			func(vp int, v int32, msg int64, has bool) {
+				if has && msg < labels[v] {
+					labels[v] = msg
+					changes[vp]++
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, c := range changes {
+			total += c
+		}
+		if total == 0 {
+			break
+		}
+	}
+	return labels, nil
+}
+
+// cdlpFlow shuffles full label multisets every iteration: the reducer
+// concatenates label lists, so message volume is one label per edge per
+// direction — the cost that makes CDLP on dataflow engines fail the SLA at
+// scale in the paper.
+func cdlpFlow(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
+	n := u.G.NumVertices()
+	labels := make([]int64, n)
+	next := make([]int64, n)
+	for v := 0; v < n; v++ {
+		labels[v] = u.G.VertexID(int32(v))
+	}
+	for it := 0; it < iterations; it++ {
+		err := aggregate(ctx, u, 1, 12,
+			func(em *emitter[[]int64], ep *edgePartition) {
+				srcAttr := make(map[int32]int64, len(ep.needSrc))
+				for _, v := range ep.needSrc {
+					srcAttr[v] = labels[v]
+				}
+				dstAttr := make(map[int32]int64, len(ep.needDst))
+				for _, v := range ep.needDst {
+					dstAttr[v] = labels[v]
+				}
+				for i, s := range ep.src {
+					d := ep.dst[i]
+					em.emit(d, []int64{srcAttr[s]})
+					em.emit(s, []int64{dstAttr[d]})
+				}
+			},
+			func(a, b []int64) []int64 { return append(a, b...) },
+			func(vp int, v int32, msg []int64, has bool) {
+				if !has {
+					next[v] = labels[v]
+					return
+				}
+				counts := make(map[int64]int, len(msg))
+				for _, l := range msg {
+					counts[l]++
+				}
+				best, bestCount := labels[v], 0
+				for l, c := range counts {
+					if c > bestCount || (c == bestCount && l < best) {
+						best, bestCount = l, c
+					}
+				}
+				next[v] = best
+			})
+		if err != nil {
+			return nil, err
+		}
+		labels, next = next, labels
+	}
+	return labels, nil
+}
+
+// lccFlow runs two aggregations: the first materializes every vertex's
+// neighborhood as shuffled id lists; the second intersects the
+// neighborhoods across each triplet and shuffles one credit per closed
+// wedge. The intermediate data dwarfs the graph, which is exactly why the
+// paper's dataflow platform cannot finish LCC within the SLA at scale.
+func lccFlow(ctx context.Context, u *uploaded) ([]float64, error) {
+	n := u.G.NumVertices()
+	directed := u.G.Directed()
+	hoods := make([][]int32, n)
+	err := aggregate(ctx, u, 1, 8,
+		func(em *emitter[[]int32], ep *edgePartition) {
+			for i, s := range ep.src {
+				d := ep.dst[i]
+				em.emit(d, []int32{s})
+				em.emit(s, []int32{d})
+			}
+		},
+		func(a, b []int32) []int32 { return append(a, b...) },
+		func(vp int, v int32, msg []int32, has bool) {
+			if !has {
+				return
+			}
+			sortInt32(msg)
+			uniq := msg[:0]
+			for i, x := range msg {
+				if x == v {
+					continue
+				}
+				if i > 0 && len(uniq) > 0 && uniq[len(uniq)-1] == x {
+					continue
+				}
+				uniq = append(uniq, x)
+			}
+			hoods[v] = uniq
+		})
+	if err != nil {
+		return nil, err
+	}
+	credits := make([]int64, n)
+	err = aggregate(ctx, u, 1, 12,
+		func(em *emitter[int64], ep *edgePartition) {
+			for i, a := range ep.src {
+				b := ep.dst[i]
+				weight := int64(1)
+				if !directed {
+					// A stored undirected edge represents both arcs.
+					weight = 2
+				}
+				ha, hb := hoods[a], hoods[b]
+				x, y := 0, 0
+				for x < len(ha) && y < len(hb) {
+					switch {
+					case ha[x] < hb[y]:
+						x++
+					case hb[y] < ha[x]:
+						y++
+					default:
+						em.emit(ha[x], weight)
+						x++
+						y++
+					}
+				}
+			}
+		},
+		func(a, b int64) int64 { return a + b },
+		func(vp int, v int32, msg int64, has bool) {
+			if has {
+				credits[v] = msg
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := len(hoods[v])
+		if d >= 2 {
+			out[v] = float64(credits[v]) / (float64(d) * float64(d-1))
+		}
+	}
+	return out, nil
+}
+
+// ssspFlow is Pregel-on-dataflow SSSP with a min reducer.
+func ssspFlow(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
+	n := u.G.NumVertices()
+	directed := u.G.Directed()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	active[source] = true
+	activeCount := 1
+	for activeCount > 0 {
+		updates := make([]int, len(u.vparts))
+		frac := float64(activeCount) / float64(n)
+		err := aggregate(ctx, u, frac, 8,
+			func(em *emitter[float64], ep *edgePartition) {
+				for i, s := range ep.src {
+					d := ep.dst[i]
+					w := ep.w[i]
+					if active[s] {
+						em.emit(d, dist[s]+w)
+					}
+					if !directed && active[d] {
+						em.emit(s, dist[d]+w)
+					}
+				}
+			},
+			math.Min,
+			func(vp int, v int32, msg float64, has bool) {
+				nextActive[v] = false
+				if has && msg < dist[v] {
+					dist[v] = msg
+					nextActive[v] = true
+					updates[vp]++
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		active, nextActive = nextActive, active
+		activeCount = 0
+		for _, c := range updates {
+			activeCount += c
+		}
+	}
+	return dist, nil
+}

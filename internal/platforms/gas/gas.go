@@ -1,0 +1,305 @@
+// Package gas implements a Gather-Apply-Scatter engine in the style of
+// PowerGraph, standing in for it in the paper's evaluation. The graph is
+// partitioned by a vertex-cut: every directed arc is assigned to one
+// machine, every vertex has a master machine plus mirror replicas on each
+// machine that holds one of its arcs. A synchronous GAS iteration runs
+//
+//	gather:  every machine folds its local arcs into per-vertex partial
+//	         accumulators; mirrors ship their partials to the master;
+//	apply:   masters combine partials and update the vertex value;
+//	scatter: masters broadcast the new value to mirrors and activate
+//	         neighboring vertices when the value changed.
+//
+// The vertex-cut keeps work balanced on skewed power-law degree
+// distributions, which is PowerGraph's signature design point.
+package gas
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/granula"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+// Engine is the gather-apply-scatter platform driver.
+type Engine struct{}
+
+// New returns the GAS engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements platform.Platform.
+func (e *Engine) Name() string { return "gas" }
+
+// Description implements platform.Platform.
+func (e *Engine) Description() string {
+	return "gather-apply-scatter over a vertex-cut (PowerGraph-style)"
+}
+
+// Distributed implements platform.Platform.
+func (e *Engine) Distributed() bool { return true }
+
+// Supports implements platform.Platform; all six algorithms are
+// implemented (PowerGraph is one of only two platforms that complete LCC
+// in the paper).
+func (e *Engine) Supports(a algorithms.Algorithm) bool {
+	switch a {
+	case algorithms.BFS, algorithms.PR, algorithms.WCC, algorithms.CDLP, algorithms.LCC, algorithms.SSSP:
+		return true
+	}
+	return false
+}
+
+// machineArcs holds one machine's share of the vertex-cut: arcs sorted by
+// (src, dst) with parallel weights, plus a compacted by-source index so
+// frontier algorithms can expand only active sources.
+type machineArcs struct {
+	arcs []cluster.Arc
+	w    []float64 // nil when unweighted
+	srcs []int32   // distinct sources, ascending
+	off  []int32   // arc range of srcs[i] is arcs[off[i]:off[i+1]]
+
+	// dstOrder is a permutation of arc indices sorted by (dst, src); it
+	// drives the gather phase, in which each destination group is folded
+	// by exactly one thread, keeping accumulation deterministic without a
+	// second copy of the arc array.
+	dstOrder []int32
+	dsts     []int32
+	doff     []int32
+}
+
+// arcByDst returns the k-th arc in destination order.
+func (ma *machineArcs) arcByDst(k int32) cluster.Arc { return ma.arcs[ma.dstOrder[k]] }
+
+// arcsOf returns the local arcs and weights out of source v.
+func (ma *machineArcs) arcsOf(v int32) ([]cluster.Arc, []float64) {
+	i := sort.Search(len(ma.srcs), func(i int) bool { return ma.srcs[i] >= v })
+	if i == len(ma.srcs) || ma.srcs[i] != v {
+		return nil, nil
+	}
+	lo, hi := ma.off[i], ma.off[i+1]
+	if ma.w == nil {
+		return ma.arcs[lo:hi], nil
+	}
+	return ma.arcs[lo:hi], ma.w[lo:hi]
+}
+
+type uploaded struct {
+	platform.BaseUpload
+	part *cluster.EdgePartition
+	// local[m] is machine m's arc store.
+	local []*machineArcs
+	// replicaCount[v] = number of machines holding v.
+	replicaCount []int32
+	// mirrorCount[m] = number of vertices mirrored (non-master) on m,
+	// bcastCount[m] = total mirrors of vertices mastered on m; both are
+	// the per-round traffic volumes of dense gather/scatter phases.
+	mirrorCount []int64
+	bcastCount  []int64
+	// masterVerts[m] lists the vertices mastered on machine m.
+	masterVerts [][]int32
+	bytes       []int64
+}
+
+func (u *uploaded) Free() {
+	for m, b := range u.bytes {
+		u.Cl.Free(m, b)
+	}
+	u.local = nil
+}
+
+// Upload implements platform.Platform: it builds the vertex-cut and each
+// machine's sorted arc store.
+func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	cl := cluster.New(cfg.ClusterConfig())
+	part := cluster.PartitionEdges(g, cl.Machines())
+	u := &uploaded{
+		BaseUpload:   platform.BaseUpload{G: g, Cl: cl},
+		part:         part,
+		local:        make([]*machineArcs, cl.Machines()),
+		replicaCount: make([]int32, g.NumVertices()),
+		mirrorCount:  make([]int64, cl.Machines()),
+		bcastCount:   make([]int64, cl.Machines()),
+		masterVerts:  make([][]int32, cl.Machines()),
+		bytes:        make([]int64, cl.Machines()),
+	}
+	for v, reps := range part.Replicas {
+		u.replicaCount[v] = int32(len(reps))
+		master := part.Master[v]
+		u.masterVerts[master] = append(u.masterVerts[master], int32(v))
+		for _, m := range reps {
+			if m != master {
+				u.mirrorCount[m]++
+				u.bcastCount[master]++
+			}
+		}
+	}
+	for m := 0; m < cl.Machines(); m++ {
+		u.local[m] = buildMachineArcs(g, part.Arcs[m])
+		// Arc array, weights, destination-order index, mirror tables.
+		perArc := int64(12)
+		if g.Weighted() {
+			perArc += 8
+		}
+		bytes := int64(len(u.local[m].arcs))*perArc + int64(u.mirrorCount[m])*16
+		if err := cl.Alloc(m, bytes); err != nil {
+			u.Free()
+			return nil, fmt.Errorf("gas: upload %s: %w", g.Name(), err)
+		}
+		u.bytes[m] = bytes
+	}
+	return u, nil
+}
+
+// buildMachineArcs sorts a machine's arcs by source and attaches weights
+// and the by-source index.
+func buildMachineArcs(g *graph.Graph, arcs []cluster.Arc) *machineArcs {
+	sorted := append([]cluster.Arc(nil), arcs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Src != sorted[j].Src {
+			return sorted[i].Src < sorted[j].Src
+		}
+		return sorted[i].Dst < sorted[j].Dst
+	})
+	ma := &machineArcs{arcs: sorted}
+	if g.Weighted() {
+		ma.w = make([]float64, len(sorted))
+		for i, a := range sorted {
+			ma.w[i] = edgeWeight(g, a.Src, a.Dst)
+		}
+	}
+	for i, a := range sorted {
+		if i == 0 || a.Src != sorted[i-1].Src {
+			ma.srcs = append(ma.srcs, a.Src)
+			ma.off = append(ma.off, int32(i))
+		}
+	}
+	ma.off = append(ma.off, int32(len(sorted)))
+
+	ma.dstOrder = make([]int32, len(sorted))
+	for i := range ma.dstOrder {
+		ma.dstOrder[i] = int32(i)
+	}
+	sort.Slice(ma.dstOrder, func(i, j int) bool {
+		a, b := sorted[ma.dstOrder[i]], sorted[ma.dstOrder[j]]
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Src < b.Src
+	})
+	for i, k := range ma.dstOrder {
+		a := sorted[k]
+		if i == 0 || a.Dst != sorted[ma.dstOrder[i-1]].Dst {
+			ma.dsts = append(ma.dsts, a.Dst)
+			ma.doff = append(ma.doff, int32(i))
+		}
+	}
+	ma.doff = append(ma.doff, int32(len(sorted)))
+	return ma
+}
+
+// edgeWeight looks up the weight of arc (src, dst) in the original graph.
+func edgeWeight(g *graph.Graph, src, dst int32) float64 {
+	adj := g.OutNeighbors(src)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= dst })
+	if i < len(adj) && adj[i] == dst {
+		return g.OutWeights(src)[i]
+	}
+	return 0
+}
+
+// Execute implements platform.Platform.
+func (e *Engine) Execute(ctx context.Context, up platform.Uploaded, a algorithms.Algorithm, p algorithms.Params) (*platform.Result, error) {
+	if !e.Supports(a) {
+		return nil, fmt.Errorf("%w: %s on gas", platform.ErrUnsupported, a)
+	}
+	u, ok := up.(*uploaded)
+	if !ok {
+		return nil, fmt.Errorf("gas: foreign upload handle %T", up)
+	}
+	p = p.WithDefaults(a)
+	cl := u.Cl
+
+	t := granula.NewTracker(fmt.Sprintf("%s/%s", a, u.G.Name()), e.Name())
+	t.Begin(granula.PhaseSetup)
+	state := int64(u.G.NumVertices()) * 24 // value + accumulator + flags
+	for m := 0; m < cl.Machines(); m++ {
+		if err := cl.Alloc(m, state/int64(cl.Machines())); err != nil {
+			t.End()
+			return nil, fmt.Errorf("gas: allocate state: %w", err)
+		}
+		defer cl.Free(m, state/int64(cl.Machines()))
+	}
+	t.Annotate("replication_factor", fmt.Sprintf("%.2f", u.part.ReplicationFactor()))
+	t.End()
+
+	cl.ResetTime()
+	t.Begin(granula.PhaseProcess)
+	out, err := e.runAlgorithm(ctx, u, a, p)
+	t.Annotate("rounds", fmt.Sprint(cl.Rounds()))
+	t.Current().Modeled = cl.SimulatedTime()
+	t.End()
+	if err != nil {
+		return nil, err
+	}
+	t.Begin(granula.PhaseOffload)
+	t.End()
+	return platform.NewResult(t, cl, out), nil
+}
+
+func (e *Engine) runAlgorithm(ctx context.Context, u *uploaded, a algorithms.Algorithm, p algorithms.Params) (*algorithms.Output, error) {
+	switch a {
+	case algorithms.BFS:
+		src, ok := u.G.Index(p.Source)
+		if !ok {
+			return nil, fmt.Errorf("gas: %w: %d", algorithms.ErrSourceNotFound, p.Source)
+		}
+		vals, err := bfsGAS(ctx, u, src)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: vals}, nil
+	case algorithms.PR:
+		vals, err := prGAS(ctx, u, p.Iterations, p.Damping)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Float: vals}, nil
+	case algorithms.WCC:
+		vals, err := wccGAS(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: vals}, nil
+	case algorithms.CDLP:
+		vals, err := cdlpGAS(ctx, u, p.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: vals}, nil
+	case algorithms.LCC:
+		vals, err := lccGAS(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Float: vals}, nil
+	case algorithms.SSSP:
+		if !u.G.Weighted() {
+			return nil, algorithms.ErrNeedsWeights
+		}
+		src, ok := u.G.Index(p.Source)
+		if !ok {
+			return nil, fmt.Errorf("gas: %w: %d", algorithms.ErrSourceNotFound, p.Source)
+		}
+		vals, err := ssspGAS(ctx, u, src)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Float: vals}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", platform.ErrUnsupported, a)
+}

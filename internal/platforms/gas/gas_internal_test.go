@@ -1,0 +1,63 @@
+package gas
+
+import (
+	"testing"
+
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/graph"
+)
+
+func TestMachineArcsIndexes(t *testing.T) {
+	g, err := graph.FromEdges("g", true, true, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 0, Dst: 2, Weight: 2},
+		{Src: 2, Dst: 1, Weight: 3}, {Src: 3, Dst: 0, Weight: 4},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := []cluster.Arc{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 2, Dst: 1}, {Src: 3, Dst: 0}}
+	ma := buildMachineArcs(g, arcs)
+
+	// By-source lookup returns the matching arcs and weights.
+	got, ws := ma.arcsOf(0)
+	if len(got) != 2 || ws[0] != 1 || ws[1] != 2 {
+		t.Fatalf("arcsOf(0) = %v / %v", got, ws)
+	}
+	if got, _ := ma.arcsOf(1); got != nil {
+		t.Fatalf("arcsOf(1) = %v, want none", got)
+	}
+
+	// The destination-order permutation visits arcs grouped by dst.
+	var lastDst int32 = -1
+	count := 0
+	for i, dst := range ma.dsts {
+		if dst <= lastDst {
+			t.Fatal("dsts not ascending")
+		}
+		lastDst = dst
+		for k := ma.doff[i]; k < ma.doff[i+1]; k++ {
+			if ma.arcByDst(k).Dst != dst {
+				t.Fatalf("arcByDst group %d contains wrong dst", i)
+			}
+			count++
+		}
+	}
+	if count != len(arcs) {
+		t.Fatalf("destination order covers %d arcs, want %d", count, len(arcs))
+	}
+}
+
+func TestEdgeWeightLookup(t *testing.T) {
+	g, err := graph.FromEdges("g", true, true, []graph.Edge{{Src: 5, Dst: 9, Weight: 2.5}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := g.Index(5)
+	d, _ := g.Index(9)
+	if w := edgeWeight(g, s, d); w != 2.5 {
+		t.Fatalf("weight = %v, want 2.5", w)
+	}
+	if w := edgeWeight(g, d, s); w != 0 {
+		t.Fatalf("missing arc weight = %v, want 0", w)
+	}
+}

@@ -1,0 +1,531 @@
+package gas
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/platform"
+)
+
+// prGAS runs PageRank as dense synchronous GAS iterations: the gather
+// round folds contrib over each machine's destination groups, the apply
+// round updates mastered vertices and recomputes contributions for the
+// broadcast back to mirrors.
+func prGAS(ctx context.Context, u *uploaded, iterations int, damping float64) ([]float64, error) {
+	g, cl := u.G, u.Cl
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	inv := 1.0 / float64(n)
+	rank := make([]float64, n)
+	contrib := make([]float64, n)
+	acc := make([]float64, n)
+	var dangling float64
+	for v := int32(0); v < int32(n); v++ {
+		rank[v] = inv
+		if deg := g.OutDegree(v); deg > 0 {
+			contrib[v] = inv / float64(deg)
+		} else {
+			dangling += inv
+		}
+	}
+	danglingParts := make([]float64, cl.Machines())
+	for it := 0; it < iterations; it++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		// Gather: fold local arcs by destination group.
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			ma := u.local[mach]
+			th.Chunks(len(ma.dsts), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dst := ma.dsts[i]
+					sum := 0.0
+					for k := ma.doff[i]; k < ma.doff[i+1]; k++ {
+						sum += contrib[ma.arcByDst(k).Src]
+					}
+					acc[dst] += sum // sequential machines: no cross-machine race
+				}
+			})
+			mirrorGatherBytes(u, mach, 8)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		base := (1-damping)*inv + damping*dangling*inv
+		// Apply + scatter: masters update their vertices, recompute
+		// contributions and dangling mass, and broadcast to mirrors.
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := u.masterVerts[mach]
+			parts := make([]float64, th.Count())
+			th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+				var d float64
+				for _, v := range verts[lo:hi] {
+					nv := base + damping*acc[v]
+					rank[v] = nv
+					acc[v] = 0
+					if deg := g.OutDegree(v); deg > 0 {
+						contrib[v] = nv / float64(deg)
+					} else {
+						d += nv
+					}
+				}
+				parts[w] += d
+			})
+			var d float64
+			for _, x := range parts {
+				d += x
+			}
+			danglingParts[mach] = d
+			cl.Send(mach, (mach+1)%cl.Machines(), u.bcastCount[mach]*8)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		dangling = 0
+		for _, d := range danglingParts {
+			dangling += d
+		}
+	}
+	return rank, nil
+}
+
+// mirrorGatherBytes accounts the per-iteration mirror-to-master partials
+// for dense gathers.
+func mirrorGatherBytes(u *uploaded, mach int, valueBytes int64) {
+	u.Cl.Send(mach, (mach+1)%u.Cl.Machines(), u.mirrorCount[mach]*valueBytes)
+}
+
+// bfsGAS expands a global frontier over each machine's local arcs; newly
+// discovered vertices are synchronized master-to-mirror before the next
+// level.
+func bfsGAS(ctx context.Context, u *uploaded, source int32) ([]int64, error) {
+	g, cl := u.G, u.Cl
+	n := g.NumVertices()
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = algorithms.Unreachable
+	}
+	depth[source] = 0
+	frontier := []int32{source}
+	for level := int64(1); len(frontier) > 0; level++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		discovered := make([][]int32, cl.Machines())
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			ma := u.local[mach]
+			parts := make([][]int32, th.Count())
+			th.ChunksIndexed(len(frontier), func(w, lo, hi int) {
+				var buf []int32
+				for _, v := range frontier[lo:hi] {
+					arcs, _ := ma.arcsOf(v)
+					for _, a := range arcs {
+						if atomic.CompareAndSwapInt64(&depth[a.Dst], algorithms.Unreachable, level) {
+							buf = append(buf, a.Dst)
+						}
+					}
+				}
+				parts[w] = buf
+			})
+			var merged []int32
+			for _, p := range parts {
+				merged = append(merged, p...)
+			}
+			discovered[mach] = merged
+			var toMasters, bcast int64
+			for _, d := range merged {
+				if int(u.part.Master[d]) != mach {
+					toMasters += 12
+				}
+				bcast += int64(u.replicaCount[d]-1) * 12
+			}
+			cl.Send(mach, (mach+1)%cl.Machines(), toMasters+bcast)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		frontier = frontier[:0]
+		for _, list := range discovered {
+			frontier = append(frontier, list...)
+		}
+	}
+	return depth, nil
+}
+
+// wccGAS iterates a dense min-label gather over both arc directions until
+// a fixpoint.
+func wccGAS(ctx context.Context, u *uploaded) ([]int64, error) {
+	g, cl := u.G, u.Cl
+	n := g.NumVertices()
+	const maxLabel = int32(math.MaxInt32)
+	labels := make([]int32, n)
+	acc := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+		acc[i] = maxLabel
+	}
+	changed := make([]bool, cl.Machines())
+	for {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		// Gather: min over in-arcs (by-dst groups) and, because components
+		// are weak, min over out-arcs (by-src groups).
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			ma := u.local[mach]
+			th.Chunks(len(ma.dsts), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dst := ma.dsts[i]
+					best := acc[dst]
+					for k := ma.doff[i]; k < ma.doff[i+1]; k++ {
+						if l := labels[ma.arcByDst(k).Src]; l < best {
+							best = l
+						}
+					}
+					acc[dst] = best
+				}
+			})
+			if g.Directed() {
+				th.Chunks(len(ma.srcs), func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						src := ma.srcs[i]
+						best := acc[src]
+						for _, a := range ma.arcs[ma.off[i]:ma.off[i+1]] {
+							if l := labels[a.Dst]; l < best {
+								best = l
+							}
+						}
+						acc[src] = best
+					}
+				})
+			}
+			mirrorGatherBytes(u, mach, 4)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Apply on masters; broadcast changed labels.
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := u.masterVerts[mach]
+			parts := make([]bool, th.Count())
+			var bcast int64
+			bcastParts := make([]int64, th.Count())
+			th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+				ch := false
+				var bc int64
+				for _, v := range verts[lo:hi] {
+					if acc[v] < labels[v] {
+						labels[v] = acc[v]
+						ch = true
+						bc += int64(u.replicaCount[v]-1) * 8
+					}
+					acc[v] = maxLabel
+				}
+				parts[w] = ch
+				bcastParts[w] = bc
+			})
+			ch := false
+			for _, p := range parts {
+				ch = ch || p
+			}
+			for _, b := range bcastParts {
+				bcast += b
+			}
+			changed[mach] = ch
+			cl.Send(mach, (mach+1)%cl.Machines(), bcast)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		any := false
+		for _, c := range changed {
+			any = any || c
+		}
+		if !any {
+			break
+		}
+	}
+	out := make([]int64, n)
+	for v := 0; v < n; v++ {
+		out[v] = g.VertexID(labels[v])
+	}
+	return out, nil
+}
+
+// cdlpGAS gathers neighbor labels into per-vertex lists (labels cannot be
+// pre-combined) and applies the deterministic mode on masters.
+func cdlpGAS(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
+	g, cl := u.G, u.Cl
+	n := g.NumVertices()
+	labels := make([]int64, n)
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = g.VertexID(v)
+	}
+	lists := make([][]int64, n)
+	for it := 0; it < iterations; it++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			ma := u.local[mach]
+			var wire int64
+			wireParts := make([]int64, th.Count())
+			th.ChunksIndexed(len(ma.dsts), func(w, lo, hi int) {
+				var bytes int64
+				for i := lo; i < hi; i++ {
+					dst := ma.dsts[i]
+					for k := ma.doff[i]; k < ma.doff[i+1]; k++ {
+						lists[dst] = append(lists[dst], labels[ma.arcByDst(k).Src])
+					}
+					if int(u.part.Master[dst]) != mach {
+						bytes += int64(ma.doff[i+1]-ma.doff[i]) * 8
+					}
+				}
+				wireParts[w] = bytes
+			})
+			if g.Directed() {
+				// Out-neighbor labels also count in directed graphs.
+				th.Chunks(len(ma.srcs), func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						src := ma.srcs[i]
+						for _, a := range ma.arcs[ma.off[i]:ma.off[i+1]] {
+							lists[src] = append(lists[src], labels[a.Dst])
+						}
+					}
+				})
+			}
+			for _, b := range wireParts {
+				wire += b
+			}
+			cl.Send(mach, (mach+1)%cl.Machines(), wire)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := u.masterVerts[mach]
+			th.Chunks(len(verts), func(lo, hi int) {
+				counts := make(map[int64]int, 16)
+				for _, v := range verts[lo:hi] {
+					if len(lists[v]) > 0 {
+						clear(counts)
+						for _, l := range lists[v] {
+							counts[l]++
+						}
+						best, bestCount := labels[v], 0
+						for l, c := range counts {
+							if c > bestCount || (c == bestCount && l < best) {
+								best, bestCount = l, c
+							}
+						}
+						labels[v] = best
+						lists[v] = lists[v][:0]
+					}
+				}
+			})
+			cl.Send(mach, (mach+1)%cl.Machines(), u.bcastCount[mach]*8)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return labels, nil
+}
+
+// lccGAS builds each vertex's neighborhood from the local arcs (gather),
+// then masters intersect neighbor adjacency, accounting remote adjacency
+// fetches as traffic from the owning replicas.
+func lccGAS(ctx context.Context, u *uploaded) ([]float64, error) {
+	g, cl := u.G, u.Cl
+	n := g.NumVertices()
+	hoods := make([][]int32, n)
+	// Gather round: collect neighbor candidates from both arc endpoints.
+	if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+		ma := u.local[mach]
+		th.Chunks(len(ma.dsts), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst := ma.dsts[i]
+				for k := ma.doff[i]; k < ma.doff[i+1]; k++ {
+					hoods[dst] = append(hoods[dst], ma.arcByDst(k).Src)
+				}
+			}
+		})
+		if g.Directed() {
+			th.Chunks(len(ma.srcs), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					src := ma.srcs[i]
+					for _, a := range ma.arcs[ma.off[i]:ma.off[i+1]] {
+						hoods[src] = append(hoods[src], a.Dst)
+					}
+				}
+			})
+		}
+		mirrorGatherBytes(u, mach, 8)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Normalize round: sort and deduplicate neighborhoods on masters.
+	if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+		verts := u.masterVerts[mach]
+		th.Chunks(len(verts), func(lo, hi int) {
+			for _, v := range verts[lo:hi] {
+				h := hoods[v]
+				sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+				uniq := h[:0]
+				for k, x := range h {
+					if x == v {
+						continue
+					}
+					if len(uniq) > 0 && uniq[len(uniq)-1] == x {
+						continue
+					}
+					uniq = append(uniq, h[k])
+				}
+				hoods[v] = uniq
+			}
+		})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	// Intersect round: count arcs among neighbors.
+	out := make([]float64, n)
+	if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+		verts := u.masterVerts[mach]
+		fetchParts := make([]int64, th.Count())
+		th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+			var fetch int64
+			for _, v := range verts[lo:hi] {
+				hood := hoods[v]
+				d := len(hood)
+				if d < 2 {
+					continue
+				}
+				arcs := 0
+				for _, nb := range hood {
+					if int(u.part.Master[nb]) != mach {
+						fetch += int64(g.OutDegree(nb)) * 4
+					}
+					arcs += intersectSorted(g.OutNeighbors(nb), hood, v)
+				}
+				out[v] = float64(arcs) / (float64(d) * float64(d-1))
+			}
+			fetchParts[w] = fetch
+		})
+		var fetch int64
+		for _, f := range fetchParts {
+			fetch += f
+		}
+		cl.Send((mach+1)%cl.Machines(), mach, fetch)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// intersectSorted counts common entries of two ascending lists, skipping v.
+func intersectSorted(a, b []int32, v int32) int {
+	count, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			if a[i] != v {
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// ssspGAS relaxes the out-arcs of frontier vertices with an atomic min on
+// the distance bits, synchronizing discoveries like bfsGAS.
+func ssspGAS(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
+	g, cl := u.G, u.Cl
+	n := g.NumVertices()
+	bits := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range bits {
+		bits[i] = inf
+	}
+	bits[source] = math.Float64bits(0)
+	inNext := make([]atomic.Bool, n)
+	frontier := []int32{source}
+	for len(frontier) > 0 {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		discovered := make([][]int32, cl.Machines())
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			ma := u.local[mach]
+			parts := make([][]int32, th.Count())
+			th.ChunksIndexed(len(frontier), func(w, lo, hi int) {
+				var buf []int32
+				for _, v := range frontier[lo:hi] {
+					arcs, ws := ma.arcsOf(v)
+					dv := math.Float64frombits(atomic.LoadUint64(&bits[v]))
+					for i, a := range arcs {
+						nd := dv + ws[i]
+						for {
+							old := atomic.LoadUint64(&bits[a.Dst])
+							if nd >= math.Float64frombits(old) {
+								break
+							}
+							if atomic.CompareAndSwapUint64(&bits[a.Dst], old, math.Float64bits(nd)) {
+								if inNext[a.Dst].CompareAndSwap(false, true) {
+									buf = append(buf, a.Dst)
+								}
+								break
+							}
+						}
+					}
+				}
+				parts[w] = buf
+			})
+			var merged []int32
+			for _, p := range parts {
+				merged = append(merged, p...)
+			}
+			discovered[mach] = merged
+			var wire int64
+			for _, d := range merged {
+				if int(u.part.Master[d]) != mach {
+					wire += 16
+				}
+				wire += int64(u.replicaCount[d]-1) * 16
+			}
+			cl.Send(mach, (mach+1)%cl.Machines(), wire)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		frontier = frontier[:0]
+		for _, list := range discovered {
+			for _, d := range list {
+				inNext[d].Store(false)
+				frontier = append(frontier, d)
+			}
+		}
+	}
+	dist := make([]float64, n)
+	for i, b := range bits {
+		dist[i] = math.Float64frombits(b)
+	}
+	return dist, nil
+}

@@ -1,0 +1,365 @@
+package native
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+// The native engine is single-machine, but it still runs its levels and
+// iterations through cluster.RunRound so that the simulated thread pool
+// (see cluster.Threads) models vertical scalability uniformly across all
+// engines.
+
+// bfs is a level-synchronous queue-based breadth-first search: only the
+// frontier is scanned each level, so partially covered graphs cost only the
+// covered portion (the OpenG advantage the paper observes on R2).
+func bfs(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, source int32) ([]int64, error) {
+	n := g.NumVertices()
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = algorithms.Unreachable
+	}
+	depth[source] = 0
+	frontier := []int32{source}
+	for level := int64(1); len(frontier) > 0; level++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		var next [][]int32
+		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
+			next = make([][]int32, th.Count())
+			th.ChunksIndexed(len(frontier), func(worker, lo, hi int) {
+				var local []int32
+				for _, v := range frontier[lo:hi] {
+					for _, u := range g.OutNeighbors(v) {
+						if atomic.CompareAndSwapInt64(&depth[u], algorithms.Unreachable, level) {
+							local = append(local, u)
+						}
+					}
+				}
+				next[worker] = local
+			})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		frontier = frontier[:0]
+		for _, l := range next {
+			frontier = append(frontier, l...)
+		}
+	}
+	return depth, nil
+}
+
+// pagerank runs the specification's fixed-iteration synchronous PageRank
+// with a parallel pull over in-edges.
+func pagerank(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, iterations int, damping float64) ([]float64, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	contrib := make([]float64, n) // rank[u]/outdeg(u), precomputed per iteration
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	for it := 0; it < iterations; it++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
+			danglingParts := make([]float64, th.Count())
+			th.ChunksIndexed(n, func(w, lo, hi int) {
+				var d float64
+				for v := lo; v < hi; v++ {
+					deg := g.OutDegree(int32(v))
+					if deg == 0 {
+						d += rank[v]
+						contrib[v] = 0
+					} else {
+						contrib[v] = rank[v] / float64(deg)
+					}
+				}
+				danglingParts[w] += d
+			})
+			var dangling float64
+			for _, d := range danglingParts {
+				dangling += d
+			}
+			base := (1-damping)*inv + damping*dangling*inv
+			th.Chunks(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					sum := 0.0
+					for _, u := range g.InNeighbors(int32(v)) {
+						sum += contrib[u]
+					}
+					next[v] = base + damping*sum
+				}
+			})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		rank, next = next, rank
+	}
+	return rank, nil
+}
+
+// wcc propagates minimum labels over both edge directions until a
+// fixpoint; labels start as internal indices (whose order equals external
+// identifier order) and are translated to external identifiers at the end.
+func wcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]int64, error) {
+	n := g.NumVertices()
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = int32(i)
+	}
+	for {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		any := false
+		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
+			changedParts := make([]bool, th.Count())
+			th.ChunksIndexed(n, func(w, lo, hi int) {
+				changed := false
+				for v := lo; v < hi; v++ {
+					orig := atomic.LoadInt32(&label[v])
+					m := orig
+					for _, u := range g.OutNeighbors(int32(v)) {
+						if l := atomic.LoadInt32(&label[u]); l < m {
+							m = l
+						}
+					}
+					if g.Directed() {
+						for _, u := range g.InNeighbors(int32(v)) {
+							if l := atomic.LoadInt32(&label[u]); l < m {
+								m = l
+							}
+						}
+					}
+					if m < orig {
+						// A concurrent smaller store may be overwritten here;
+						// that writer sets its changed flag, so the fixpoint
+						// loop runs again and re-lowers the label.
+						atomic.StoreInt32(&label[v], m)
+						changed = true
+					}
+				}
+				changedParts[w] = changed
+			})
+			for _, c := range changedParts {
+				any = any || c
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if !any {
+			break
+		}
+	}
+	out := make([]int64, n)
+	for v := 0; v < n; v++ {
+		out[v] = g.VertexID(label[v])
+	}
+	return out, nil
+}
+
+// cdlp is the deterministic synchronous label propagation of the
+// specification, parallel over vertices with per-worker histogram maps.
+func cdlp(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, iterations int) ([]int64, error) {
+	n := g.NumVertices()
+	labels := make([]int64, n)
+	next := make([]int64, n)
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = g.VertexID(v)
+	}
+	for it := 0; it < iterations; it++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
+			th.Chunks(n, func(lo, hi int) {
+				counts := make(map[int64]int, 16)
+				for v := lo; v < hi; v++ {
+					clear(counts)
+					for _, u := range g.OutNeighbors(int32(v)) {
+						counts[labels[u]]++
+					}
+					if g.Directed() {
+						for _, u := range g.InNeighbors(int32(v)) {
+							counts[labels[u]]++
+						}
+					}
+					best, bestCount := labels[v], 0
+					for l, c := range counts {
+						if c > bestCount || (c == bestCount && l < best) {
+							best, bestCount = l, c
+						}
+					}
+					next[v] = best
+				}
+			})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		labels, next = next, labels
+	}
+	return labels, nil
+}
+
+// lcc computes local clustering coefficients with per-worker epoch-mark
+// arrays; the neighborhood of a vertex is the union of its in- and
+// out-neighbors.
+func lcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]float64, error) {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	err := cl.RunRound(func(_ int, th *cluster.Threads) error {
+		th.Chunks(n, func(lo, hi int) {
+			mark := make([]int32, n)
+			for i := range mark {
+				mark[i] = -1
+			}
+			var hood []int32
+			for v := lo; v < hi; v++ {
+				hood = unionNeighborhood(g, int32(v), hood[:0])
+				d := len(hood)
+				if d < 2 {
+					continue
+				}
+				for _, u := range hood {
+					mark[u] = int32(v)
+				}
+				arcs := 0
+				for _, u := range hood {
+					for _, w := range g.OutNeighbors(u) {
+						if w != int32(v) && mark[w] == int32(v) {
+							arcs++
+						}
+					}
+				}
+				out[v] = float64(arcs) / (float64(d) * float64(d-1))
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// unionNeighborhood merges the sorted in- and out-neighbor lists of v,
+// dropping duplicates and v itself.
+func unionNeighborhood(g *graph.Graph, v int32, buf []int32) []int32 {
+	out := g.OutNeighbors(v)
+	if !g.Directed() {
+		return append(buf, out...)
+	}
+	in := g.InNeighbors(v)
+	i, j := 0, 0
+	for i < len(out) || j < len(in) {
+		var next int32
+		switch {
+		case i == len(out):
+			next = in[j]
+			j++
+		case j == len(in):
+			next = out[i]
+			i++
+		case out[i] < in[j]:
+			next = out[i]
+			i++
+		case in[j] < out[i]:
+			next = in[j]
+			j++
+		default:
+			next = out[i]
+			i++
+			j++
+		}
+		if next != v {
+			buf = append(buf, next)
+		}
+	}
+	return buf
+}
+
+// sssp runs a frontier-driven parallel Bellman-Ford: each round relaxes
+// the out-edges of vertices whose distance improved, using atomic
+// compare-and-swap on the distance bits. The fixpoint is the unique
+// shortest-path distance vector.
+func sssp(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, source int32) ([]float64, error) {
+	n := g.NumVertices()
+	bits := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range bits {
+		bits[i] = inf
+	}
+	bits[source] = math.Float64bits(0)
+	frontier := []int32{source}
+	inNext := make([]atomic.Bool, n)
+	for len(frontier) > 0 {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		var nextParts [][]int32
+		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
+			nextParts = make([][]int32, th.Count())
+			th.ChunksIndexed(len(frontier), func(w, lo, hi int) {
+				var local []int32
+				for _, v := range frontier[lo:hi] {
+					dv := math.Float64frombits(atomic.LoadUint64(&bits[v]))
+					ws := g.OutWeights(v)
+					for i, u := range g.OutNeighbors(v) {
+						nd := dv + ws[i]
+						for {
+							old := atomic.LoadUint64(&bits[u])
+							if nd >= math.Float64frombits(old) {
+								break
+							}
+							if atomic.CompareAndSwapUint64(&bits[u], old, math.Float64bits(nd)) {
+								if inNext[u].CompareAndSwap(false, true) {
+									local = append(local, u)
+								}
+								break
+							}
+						}
+					}
+				}
+				nextParts[w] = local
+			})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		frontier = frontier[:0]
+		for _, l := range nextParts {
+			frontier = append(frontier, l...)
+		}
+		for _, v := range frontier {
+			inNext[v].Store(false)
+		}
+	}
+	dist := make([]float64, n)
+	for i, b := range bits {
+		dist[i] = math.Float64frombits(b)
+	}
+	return dist, nil
+}

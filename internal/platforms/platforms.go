@@ -1,0 +1,53 @@
+// Package platforms registers the six graph-analysis engines of this
+// repository with the platform registry and records which system from the
+// paper's evaluation each engine stands in for.
+package platforms
+
+import (
+	"sync"
+
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platforms/dataflow"
+	"graphalytics/internal/platforms/gas"
+	"graphalytics/internal/platforms/native"
+	"graphalytics/internal/platforms/pregel"
+	"graphalytics/internal/platforms/pushpull"
+	"graphalytics/internal/platforms/spmv"
+)
+
+var registerOnce sync.Once
+
+// RegisterAll registers every engine exactly once; it is safe to call from
+// multiple entry points.
+func RegisterAll() {
+	registerOnce.Do(func() {
+		platform.Register(native.New())
+		platform.Register(spmv.New(spmv.BackendS))
+		platform.Register(spmv.New(spmv.BackendD))
+		platform.Register(pregel.New())
+		platform.Register(gas.New())
+		platform.Register(pushpull.New())
+		platform.Register(dataflow.New())
+	})
+}
+
+// PaperName maps an engine name to the platform it stands in for in the
+// paper's evaluation (Table 5).
+var PaperName = map[string]string{
+	"pregel":   "Giraph",
+	"dataflow": "GraphX",
+	"gas":      "PowerGraph",
+	"spmv-s":   "GraphMat(S)",
+	"spmv-d":   "GraphMat(D)",
+	"native":   "OpenG",
+	"pushpull": "PGX.D",
+}
+
+// SingleMachine lists the engine names used in the paper's single-machine
+// experiments (GraphMat in its S backend).
+var SingleMachine = []string{"pregel", "dataflow", "gas", "spmv-s", "native", "pushpull"}
+
+// DistributedSet lists the engines used in the paper's distributed
+// experiments (GraphMat in its D backend; OpenG excluded as it is
+// single-machine only).
+var DistributedSet = []string{"pregel", "dataflow", "gas", "spmv-d", "pushpull"}

@@ -1,0 +1,338 @@
+package pregel
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/granula"
+)
+
+// bfsProgram: the source starts at depth 0 and floods level numbers; every
+// other vertex halts immediately and is reactivated by the first message,
+// which (with the min combiner) is its BFS depth.
+func bfsProgram(ctx context.Context, t *granula.Tracker, u *uploaded, source int32, combiners bool) ([]int64, error) {
+	n := len(u.verts)
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = algorithms.Unreachable
+	}
+	var combine func(a, b int64) int64
+	if combiners {
+		combine = func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		}
+	}
+	r := newRunner[int64](u, fixedSize[int64](8), combine)
+	r.tracker = t
+	compute := func(w *worker[int64], v int32, msgs []int64, superstep int) {
+		if superstep == 0 {
+			if v == source {
+				depth[v] = 0
+				for _, dst := range u.verts[v].out {
+					w.Send(dst, 1)
+				}
+			}
+			w.VoteToHalt(v)
+			return
+		}
+		if depth[v] == algorithms.Unreachable && len(msgs) > 0 {
+			level := msgs[0]
+			for _, m := range msgs[1:] {
+				if m < level {
+					level = m
+				}
+			}
+			depth[v] = level
+			for _, dst := range u.verts[v].out {
+				w.Send(dst, level+1)
+			}
+		}
+		w.VoteToHalt(v)
+	}
+	if err := r.run(ctx, compute); err != nil {
+		return nil, err
+	}
+	return depth, nil
+}
+
+// prProgram: superstep 0 distributes the initial rank; supersteps 1..k
+// apply the update rule using the sum combiner and the dangling-mass
+// aggregator from the previous superstep; superstep k votes to halt.
+func prProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iterations int, damping float64, combiners bool) ([]float64, error) {
+	n := len(u.verts)
+	if n == 0 {
+		return nil, nil
+	}
+	rank := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	var combine func(a, b float64) float64
+	if combiners {
+		combine = func(a, b float64) float64 { return a + b }
+	}
+	r := newRunner[float64](u, fixedSize[float64](8), combine)
+	r.tracker = t
+	compute := func(w *worker[float64], v int32, msgs []float64, superstep int) {
+		if superstep > 0 {
+			sum := 0.0
+			for _, m := range msgs {
+				sum += m
+			}
+			rank[v] = (1-damping)*inv + damping*(sum+w.Agg()*inv)
+		}
+		if superstep < iterations {
+			out := u.verts[v].out
+			if len(out) == 0 {
+				w.Aggregate(rank[v])
+			} else {
+				c := rank[v] / float64(len(out))
+				for _, dst := range out {
+					w.Send(dst, c)
+				}
+			}
+			return // stay active for the next update
+		}
+		w.VoteToHalt(v)
+	}
+	if err := r.run(ctx, compute); err != nil {
+		return nil, err
+	}
+	return rank, nil
+}
+
+// wccProgram floods minimum external identifiers over all edges (both
+// directions for directed graphs, since components are weak).
+func wccProgram(ctx context.Context, t *granula.Tracker, u *uploaded, combiners bool) ([]int64, error) {
+	n := len(u.verts)
+	labels := make([]int64, n)
+	for v := 0; v < n; v++ {
+		labels[v] = u.G.VertexID(int32(v))
+	}
+	var combine func(a, b int64) int64
+	if combiners {
+		combine = func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		}
+	}
+	r := newRunner[int64](u, fixedSize[int64](8), combine)
+	r.tracker = t
+	sendAll := func(w *worker[int64], v int32, label int64) {
+		for _, dst := range u.verts[v].out {
+			w.Send(dst, label)
+		}
+		for _, dst := range u.verts[v].in {
+			w.Send(dst, label)
+		}
+	}
+	compute := func(w *worker[int64], v int32, msgs []int64, superstep int) {
+		if superstep == 0 {
+			sendAll(w, v, labels[v])
+			w.VoteToHalt(v)
+			return
+		}
+		best := labels[v]
+		for _, m := range msgs {
+			if m < best {
+				best = m
+			}
+		}
+		if best < labels[v] {
+			labels[v] = best
+			sendAll(w, v, best)
+		}
+		w.VoteToHalt(v)
+	}
+	if err := r.run(ctx, compute); err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// cdlpProgram: every superstep each vertex broadcasts its label to all
+// neighbors (both directions in directed graphs) and adopts the most
+// frequent incoming label, ties toward the smallest. Labels cannot be
+// combined, so the message volume is one label per edge per iteration —
+// the cost profile the paper observes for CDLP on message-passing systems.
+func cdlpProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iterations int) ([]int64, error) {
+	n := len(u.verts)
+	labels := make([]int64, n)
+	for v := 0; v < n; v++ {
+		labels[v] = u.G.VertexID(int32(v))
+	}
+	r := newRunner[int64](u, fixedSize[int64](8), nil)
+	r.tracker = t
+	sendAll := func(w *worker[int64], v int32, label int64) {
+		for _, dst := range u.verts[v].out {
+			w.Send(dst, label)
+		}
+		for _, dst := range u.verts[v].in {
+			w.Send(dst, label)
+		}
+	}
+	compute := func(w *worker[int64], v int32, msgs []int64, superstep int) {
+		if superstep > 0 {
+			counts := make(map[int64]int, len(msgs))
+			for _, m := range msgs {
+				counts[m]++
+			}
+			best, bestCount := labels[v], 0
+			for l, c := range counts {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			labels[v] = best
+		}
+		if superstep < iterations {
+			sendAll(w, v, labels[v])
+			return
+		}
+		w.VoteToHalt(v)
+	}
+	if err := r.run(ctx, compute); err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// lccProgram: superstep 0 sends every vertex's sorted out-adjacency to all
+// neighbors; superstep 1 intersects each received list with the local
+// neighborhood. Neighbor-list messages make this the engine's most
+// memory-hungry job, matching the paper's LCC failures on message-passing
+// platforms.
+func lccProgram(ctx context.Context, t *granula.Tracker, u *uploaded) ([]float64, error) {
+	n := len(u.verts)
+	out := make([]float64, n)
+	hoods := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		hoods[v] = neighborhoodOf(u, int32(v))
+	}
+	sizeOf := func(list []int32) int64 { return int64(len(list))*4 + 4 }
+	r := newRunner[[]int32](u, sizeOf, nil)
+	r.tracker = t
+	compute := func(w *worker[[]int32], v int32, msgs [][]int32, superstep int) {
+		if superstep == 0 {
+			adj := u.verts[v].out
+			for _, dst := range hoods[v] {
+				w.Send(dst, adj)
+			}
+			w.VoteToHalt(v)
+			return
+		}
+		hood := hoods[v]
+		d := len(hood)
+		if d >= 2 {
+			arcs := 0
+			for _, list := range msgs {
+				arcs += intersectCount(list, hood, v)
+			}
+			out[v] = float64(arcs) / (float64(d) * float64(d-1))
+		}
+		w.VoteToHalt(v)
+	}
+	if err := r.run(ctx, compute); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// neighborhoodOf returns the sorted union of in- and out-neighbors of v,
+// excluding v.
+func neighborhoodOf(u *uploaded, v int32) []int32 {
+	vd := u.verts[v]
+	if vd.in == nil {
+		return vd.out
+	}
+	merged := make([]int32, 0, len(vd.out)+len(vd.in))
+	merged = append(merged, vd.out...)
+	merged = append(merged, vd.in...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	uniq := merged[:0]
+	for i, x := range merged {
+		if x == v {
+			continue
+		}
+		if len(uniq) > 0 && uniq[len(uniq)-1] == x {
+			continue
+		}
+		uniq = append(uniq, merged[i])
+	}
+	return uniq
+}
+
+// intersectCount counts common elements of two sorted lists, excluding v.
+func intersectCount(a, b []int32, v int32) int {
+	count, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			if a[i] != v {
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// ssspProgram is the classic Pregel SSSP: distance relaxations flow as
+// messages with a min combiner.
+func ssspProgram(ctx context.Context, t *granula.Tracker, u *uploaded, source int32, combiners bool) ([]float64, error) {
+	n := len(u.verts)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var combine func(a, b float64) float64
+	if combiners {
+		combine = func(a, b float64) float64 { return math.Min(a, b) }
+	}
+	r := newRunner[float64](u, fixedSize[float64](8), combine)
+	r.tracker = t
+	relax := func(w *worker[float64], v int32, d float64) {
+		vd := u.verts[v]
+		for i, dst := range vd.out {
+			w.Send(dst, d+vd.w[i])
+		}
+	}
+	compute := func(w *worker[float64], v int32, msgs []float64, superstep int) {
+		if superstep == 0 {
+			if v == source {
+				dist[v] = 0
+				relax(w, v, 0)
+			}
+			w.VoteToHalt(v)
+			return
+		}
+		best := math.Inf(1)
+		for _, m := range msgs {
+			if m < best {
+				best = m
+			}
+		}
+		if best < dist[v] {
+			dist[v] = best
+			relax(w, v, best)
+		}
+		w.VoteToHalt(v)
+	}
+	if err := r.run(ctx, compute); err != nil {
+		return nil, err
+	}
+	return dist, nil
+}

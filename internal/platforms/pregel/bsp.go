@@ -1,0 +1,164 @@
+package pregel
+
+import (
+	"context"
+	"fmt"
+
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/granula"
+	"graphalytics/internal/platform"
+)
+
+// runner is the generic BSP superstep loop over message type T. It owns
+// the double-buffered per-vertex inboxes, the halt votes, and a float64
+// aggregator (used by PageRank for the dangling mass).
+type runner[T any] struct {
+	u       *uploaded
+	msgSize func(T) int64  // serialized wire size of one message
+	combine func(a, b T) T // nil disables the message combiner
+	// tracker, when set, records one Granula sub-phase per superstep with
+	// active-vertex and message counts — the fine-grained performance
+	// model the Granula modeler defines for vertex-centric platforms.
+	tracker *granula.Tracker
+	inbox   [][]T
+	next    [][]T
+	halted  []bool
+	agg     float64 // aggregated value from the previous superstep
+	aggNext float64
+}
+
+// worker is the per-thread compute context handed to vertex programs; it
+// stages outgoing messages, halt votes and aggregator contributions so
+// that no locks are taken inside the compute loop.
+type worker[T any] struct {
+	r         *runner[T]
+	stagedDst []int32
+	stagedMsg []T
+	halts     []int32
+	agg       float64
+}
+
+// Send queues a message to dst for the next superstep.
+func (w *worker[T]) Send(dst int32, msg T) {
+	w.stagedDst = append(w.stagedDst, dst)
+	w.stagedMsg = append(w.stagedMsg, msg)
+}
+
+// VoteToHalt marks the vertex inactive until a message reactivates it.
+func (w *worker[T]) VoteToHalt(v int32) { w.halts = append(w.halts, v) }
+
+// Aggregate adds x to the global aggregator readable in the next
+// superstep.
+func (w *worker[T]) Aggregate(x float64) { w.agg += x }
+
+// Agg returns the aggregator value accumulated during the previous
+// superstep.
+func (w *worker[T]) Agg() float64 { return w.r.agg }
+
+func newRunner[T any](u *uploaded, msgSize func(T) int64, combine func(a, b T) T) *runner[T] {
+	n := len(u.verts)
+	return &runner[T]{
+		u:       u,
+		msgSize: msgSize,
+		combine: combine,
+		inbox:   make([][]T, n),
+		next:    make([][]T, n),
+		halted:  make([]bool, n),
+	}
+}
+
+// run executes supersteps until every vertex has halted and no messages
+// are in flight. compute is called for every active vertex with the
+// messages delivered to it.
+func (r *runner[T]) run(ctx context.Context, compute func(w *worker[T], v int32, msgs []T, superstep int)) error {
+	cl := r.u.Cl
+	part := r.u.part
+	superstep := 0
+	// Active vertex lists per machine; initially all vertices.
+	active := make([][]int32, cl.Machines())
+	for m := range active {
+		active[m] = append([]int32(nil), part.Verts[m]...)
+	}
+	total := len(r.u.verts)
+	for total > 0 {
+		if err := platform.CheckContext(ctx); err != nil {
+			return err
+		}
+		if r.tracker != nil {
+			r.tracker.Begin(fmt.Sprintf("Superstep-%d", superstep))
+			r.tracker.Annotate("active_vertices", fmt.Sprint(total))
+		}
+		var messages int64
+		err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := active[mach]
+			workers := make([]*worker[T], th.Count())
+			th.ChunksIndexed(len(verts), func(wi, lo, hi int) {
+				w := &worker[T]{r: r}
+				workers[wi] = w
+				for _, v := range verts[lo:hi] {
+					compute(w, v, r.inbox[v], superstep)
+				}
+			})
+			// Deliver staged messages; machines run sequentially, so
+			// appending to any destination inbox is race-free.
+			wire := make([]int64, cl.Machines()) // per-destination-machine bytes
+			for _, w := range workers {
+				if w == nil {
+					continue
+				}
+				r.aggNext += w.agg
+				for i, dst := range w.stagedDst {
+					msg := w.stagedMsg[i]
+					if o := int(part.Owner[dst]); o != mach {
+						wire[o] += r.msgSize(msg) + 4 // payload + recipient id
+					}
+					if r.combine != nil && len(r.next[dst]) == 1 {
+						r.next[dst][0] = r.combine(r.next[dst][0], msg)
+					} else {
+						r.next[dst] = append(r.next[dst], msg)
+					}
+				}
+				for _, v := range w.halts {
+					r.halted[v] = true
+				}
+				messages += int64(len(w.stagedDst))
+			}
+			for o := 0; o < cl.Machines(); o++ {
+				cl.Send(mach, o, wire[o])
+			}
+			return nil
+		})
+		if r.tracker != nil {
+			r.tracker.Annotate("messages_sent", fmt.Sprint(messages))
+			r.tracker.End()
+		}
+		if err != nil {
+			return err
+		}
+		// Barrier: swap inboxes, reactivate message recipients, rebuild
+		// the active lists.
+		r.inbox, r.next = r.next, r.inbox
+		r.agg, r.aggNext = r.aggNext, 0
+		superstep++
+		total = 0
+		for m := range active {
+			active[m] = active[m][:0]
+			for _, v := range part.Verts[m] {
+				r.next[v] = r.next[v][:0]
+				if len(r.inbox[v]) > 0 {
+					r.halted[v] = false
+				}
+				if !r.halted[v] {
+					active[m] = append(active[m], v)
+					total++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fixedSize returns a message-size function for constant-width messages.
+func fixedSize[T any](bytes int64) func(T) int64 {
+	return func(T) int64 { return bytes }
+}

@@ -1,0 +1,351 @@
+package pushpull
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/platform"
+)
+
+// pullThresholdDivisor: a level switches from push to pull when the
+// frontier's out-edge volume exceeds |E| / pullThresholdDivisor, the
+// direction-optimizing heuristic.
+const pullThresholdDivisor = 20
+
+// bfs is the engine's hallmark direction-optimizing BFS.
+func bfs(ctx context.Context, u *uploaded, source int32, force string) (depth []int64, pushes, pulls int, err error) {
+	st, cl, part := u.st, u.Cl, u.part
+	n := st.n
+	depth = make([]int64, n)
+	for i := range depth {
+		depth[i] = algorithms.Unreachable
+	}
+	depth[source] = 0
+	frontier := []int32{source}
+	var totalEdges int64 = st.outOff[n]
+	for level := int64(1); len(frontier) > 0; level++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, 0, 0, err
+		}
+		var frontierEdges int64
+		for _, v := range frontier {
+			frontierEdges += int64(st.outDegree(v))
+		}
+		pull := frontierEdges > totalEdges/pullThresholdDivisor
+		switch force {
+		case "push":
+			pull = false
+		case "pull":
+			pull = true
+		}
+		discovered := make([][]int32, cl.Machines())
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			var merged []int32
+			if pull {
+				// Pull: scan the machine's owned unvisited vertices and
+				// check their in-neighbors against the previous level.
+				verts := part.Verts[mach]
+				parts := make([][]int32, th.Count())
+				th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+					var buf []int32
+					for _, v := range verts[lo:hi] {
+						if depth[v] != algorithms.Unreachable {
+							continue
+						}
+						for _, in := range st.in(v) {
+							if atomic.LoadInt64(&depth[in]) == level-1 {
+								atomic.StoreInt64(&depth[v], level)
+								buf = append(buf, v)
+								break
+							}
+						}
+					}
+					parts[w] = buf
+				})
+				for _, p := range parts {
+					merged = append(merged, p...)
+				}
+				pulls++
+			} else {
+				// Push: expand the owned slice of the frontier.
+				var local []int32
+				for _, v := range frontier {
+					if int(part.Owner[v]) == mach {
+						local = append(local, v)
+					}
+				}
+				parts := make([][]int32, th.Count())
+				th.ChunksIndexed(len(local), func(w, lo, hi int) {
+					var buf []int32
+					for _, v := range local[lo:hi] {
+						for _, dst := range st.out(v) {
+							if atomic.CompareAndSwapInt64(&depth[dst], algorithms.Unreachable, level) {
+								buf = append(buf, dst)
+							}
+						}
+					}
+					parts[w] = buf
+				})
+				for _, p := range parts {
+					merged = append(merged, p...)
+				}
+				pushes++
+			}
+			discovered[mach] = merged
+			cl.Broadcast(mach, int64(len(merged))*12)
+			return nil
+		}); err != nil {
+			return nil, 0, 0, err
+		}
+		frontier = frontier[:0]
+		for _, list := range discovered {
+			frontier = append(frontier, list...)
+		}
+	}
+	// The per-machine push/pull counters increment once per machine; fold
+	// back to per-level decisions.
+	if cl.Machines() > 0 {
+		pushes /= cl.Machines()
+		pulls /= cl.Machines()
+	}
+	return depth, pushes, pulls, nil
+}
+
+// pagerank pulls rank over in-edges; the dangling-vertex list is
+// replicated so every machine computes the dangling mass locally,
+// avoiding a second synchronization round per iteration.
+func pagerank(ctx context.Context, u *uploaded, iterations int, damping float64) ([]float64, error) {
+	st, cl, part := u.st, u.Cl, u.part
+	n := st.n
+	if n == 0 {
+		return nil, nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	for it := 0; it < iterations; it++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			// Replicated dangling-mass computation (same result on every
+			// machine, no traffic).
+			var dangling float64
+			for _, v := range u.danglingVerts {
+				dangling += rank[v]
+			}
+			base := (1-damping)*inv + damping*dangling*inv
+			verts := part.Verts[mach]
+			th.Chunks(len(verts), func(lo, hi int) {
+				for _, v := range verts[lo:hi] {
+					sum := 0.0
+					for _, in := range st.in(v) {
+						sum += rank[in] / float64(st.outDegree(in))
+					}
+					next[v] = base + damping*sum
+				}
+			})
+			cl.Broadcast(mach, int64(len(verts))*8)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		rank, next = next, rank
+	}
+	return rank, nil
+}
+
+// wcc pulls minimum labels over both directions until a fixpoint.
+func wcc(ctx context.Context, u *uploaded) ([]int64, int, error) {
+	st, cl, part := u.st, u.Cl, u.part
+	n := st.n
+	labels := make([]int32, n)
+	next := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	changed := make([]bool, cl.Machines())
+	rounds := 0
+	for {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, 0, err
+		}
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := part.Verts[mach]
+			parts := make([]bool, th.Count())
+			th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+				ch := false
+				for _, v := range verts[lo:hi] {
+					best := labels[v]
+					for _, in := range st.in(v) {
+						if l := labels[in]; l < best {
+							best = l
+						}
+					}
+					if st.directed {
+						for _, out := range st.out(v) {
+							if l := labels[out]; l < best {
+								best = l
+							}
+						}
+					}
+					next[v] = best
+					if best != labels[v] {
+						ch = true
+					}
+				}
+				parts[w] = ch
+			})
+			ch := false
+			for _, p := range parts {
+				ch = ch || p
+			}
+			changed[mach] = ch
+			cl.Broadcast(mach, int64(len(verts))*4)
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+		labels, next = next, labels
+		rounds++
+		any := false
+		for _, c := range changed {
+			any = any || c
+		}
+		if !any {
+			break
+		}
+	}
+	out := make([]int64, n)
+	for v := 0; v < n; v++ {
+		out[v] = u.G.VertexID(labels[v])
+	}
+	return out, rounds, nil
+}
+
+// cdlp pulls neighbor labels into per-worker histograms.
+func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
+	st, cl, part := u.st, u.Cl, u.part
+	n := st.n
+	labels := make([]int64, n)
+	next := make([]int64, n)
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = u.G.VertexID(v)
+	}
+	for it := 0; it < iterations; it++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := part.Verts[mach]
+			th.Chunks(len(verts), func(lo, hi int) {
+				counts := make(map[int64]int, 16)
+				for _, v := range verts[lo:hi] {
+					clear(counts)
+					for _, in := range st.in(v) {
+						counts[labels[in]]++
+					}
+					if st.directed {
+						for _, out := range st.out(v) {
+							counts[labels[out]]++
+						}
+					}
+					best, bestCount := labels[v], 0
+					for l, c := range counts {
+						if c > bestCount || (c == bestCount && l < best) {
+							best, bestCount = l, c
+						}
+					}
+					next[v] = best
+				}
+			})
+			cl.Broadcast(mach, int64(len(verts))*8)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		labels, next = next, labels
+	}
+	return labels, nil
+}
+
+// sssp pushes relaxations from the frontier with atomic minimums.
+func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, int, error) {
+	st, cl, part := u.st, u.Cl, u.part
+	n := st.n
+	bits := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range bits {
+		bits[i] = inf
+	}
+	bits[source] = math.Float64bits(0)
+	inNext := make([]atomic.Bool, n)
+	frontier := []int32{source}
+	rounds := 0
+	for len(frontier) > 0 {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, 0, err
+		}
+		discovered := make([][]int32, cl.Machines())
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			var local []int32
+			for _, v := range frontier {
+				if int(part.Owner[v]) == mach {
+					local = append(local, v)
+				}
+			}
+			parts := make([][]int32, th.Count())
+			th.ChunksIndexed(len(local), func(w, lo, hi int) {
+				var buf []int32
+				for _, v := range local[lo:hi] {
+					dv := math.Float64frombits(atomic.LoadUint64(&bits[v]))
+					ws := st.outWeights(v)
+					for i, dst := range st.out(v) {
+						nd := dv + ws[i]
+						for {
+							old := atomic.LoadUint64(&bits[dst])
+							if nd >= math.Float64frombits(old) {
+								break
+							}
+							if atomic.CompareAndSwapUint64(&bits[dst], old, math.Float64bits(nd)) {
+								if inNext[dst].CompareAndSwap(false, true) {
+									buf = append(buf, dst)
+								}
+								break
+							}
+						}
+					}
+				}
+				parts[w] = buf
+			})
+			var merged []int32
+			for _, p := range parts {
+				merged = append(merged, p...)
+			}
+			discovered[mach] = merged
+			cl.Broadcast(mach, int64(len(merged))*16)
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+		frontier = frontier[:0]
+		for _, list := range discovered {
+			for _, d := range list {
+				inNext[d].Store(false)
+				frontier = append(frontier, d)
+			}
+		}
+		rounds++
+	}
+	dist := make([]float64, n)
+	for i, b := range bits {
+		dist[i] = math.Float64frombits(b)
+	}
+	return dist, rounds, nil
+}

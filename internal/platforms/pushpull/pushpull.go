@@ -1,0 +1,221 @@
+// Package pushpull implements a direction-switching iteration engine in
+// the style of Oracle PGX.D, which lets vertices "pull" (read) data from
+// neighbors in addition to the conventional "push" (write) direction.
+// Every iteration the engine picks push or pull from the frontier density:
+// sparse frontiers push along out-edges, dense frontiers switch to a pull
+// scan over in-edges, avoiding contended writes.
+//
+// Mirroring the paper's PGX.D: the engine is distributed, tuned for
+// machines with large memory (it keeps both adjacency directions plus wide
+// per-vertex state and ghost caches on every machine, and is therefore the
+// first to hit memory limits in the stress test), and it does not
+// implement LCC.
+package pushpull
+
+import (
+	"context"
+	"fmt"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/granula"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+// Engine is the push-pull platform driver.
+type Engine struct {
+	// forceDirection pins the engine to "push" or "pull" for the direction
+	// ablation benchmark; empty selects adaptively.
+	forceDirection string
+}
+
+// New returns the adaptive push-pull engine.
+func New() *Engine { return &Engine{} }
+
+// NewForced returns an engine pinned to one direction ("push" or "pull"),
+// used by the direction ablation benchmark.
+func NewForced(direction string) *Engine { return &Engine{forceDirection: direction} }
+
+// Name implements platform.Platform.
+func (e *Engine) Name() string { return "pushpull" }
+
+// Description implements platform.Platform.
+func (e *Engine) Description() string {
+	return "adaptive push-pull iteration engine (PGX.D-style)"
+}
+
+// Distributed implements platform.Platform.
+func (e *Engine) Distributed() bool { return true }
+
+// Supports implements platform.Platform; LCC is not implemented, matching
+// PGX.D in the paper.
+func (e *Engine) Supports(a algorithms.Algorithm) bool {
+	switch a {
+	case algorithms.BFS, algorithms.PR, algorithms.WCC, algorithms.CDLP, algorithms.SSSP:
+		return true
+	}
+	return false
+}
+
+// store is the engine's own graph storage: both adjacency directions are
+// replicated into engine-private arrays during upload.
+type store struct {
+	n        int
+	directed bool
+	outOff   []int64
+	outAdj   []int32
+	outW     []float64
+	inOff    []int64
+	inAdj    []int32
+}
+
+func (s *store) out(v int32) []int32 { return s.outAdj[s.outOff[v]:s.outOff[v+1]] }
+func (s *store) in(v int32) []int32  { return s.inAdj[s.inOff[v]:s.inOff[v+1]] }
+func (s *store) outWeights(v int32) []float64 {
+	if s.outW == nil {
+		return nil
+	}
+	return s.outW[s.outOff[v]:s.outOff[v+1]]
+}
+func (s *store) outDegree(v int32) int { return int(s.outOff[v+1] - s.outOff[v]) }
+
+type uploaded struct {
+	platform.BaseUpload
+	st            *store
+	part          *cluster.VertexPartition
+	danglingVerts []int32
+	bytes         []int64
+}
+
+func (u *uploaded) Free() {
+	for m, b := range u.bytes {
+		u.Cl.Free(m, b)
+	}
+	u.st = nil
+}
+
+// Upload implements platform.Platform: both adjacency directions are
+// copied into engine storage and charged, together with the wide
+// per-vertex slots and ghost caches, against every machine.
+func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	cl := cluster.New(cfg.ClusterConfig())
+	st := &store{n: g.NumVertices(), directed: g.Directed()}
+	st.outOff, st.outAdj, st.outW = g.CopyCSR(false)
+	st.inOff, st.inAdj, _ = g.CopyCSR(true)
+	part := cluster.PartitionVerticesRange(g, cl.Machines())
+	var dangling []int32
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if st.outDegree(v) == 0 {
+			dangling = append(dangling, v)
+		}
+	}
+	u := &uploaded{
+		BaseUpload:    platform.BaseUpload{G: g, Cl: cl},
+		st:            st,
+		part:          part,
+		danglingVerts: dangling,
+		bytes:         make([]int64, cl.Machines()),
+	}
+	edgeBytes := int64(len(st.outAdj))*4 + int64(len(st.inAdj))*4 + int64(len(st.outW))*8 +
+		int64(len(st.outOff))*8 + int64(len(st.inOff))*8
+	n := int64(g.NumVertices())
+	// Edge share per machine, plus replicated ghost-value cache and the
+	// engine's wide per-vertex context slots (64 B) on every machine.
+	perMachine := edgeBytes/int64(cl.Machines()) + n*8 + n*64
+	for m := 0; m < cl.Machines(); m++ {
+		if err := cl.Alloc(m, perMachine); err != nil {
+			u.Free()
+			return nil, fmt.Errorf("pushpull: upload %s: %w", g.Name(), err)
+		}
+		u.bytes[m] = perMachine
+	}
+	return u, nil
+}
+
+// Execute implements platform.Platform.
+func (e *Engine) Execute(ctx context.Context, up platform.Uploaded, a algorithms.Algorithm, p algorithms.Params) (*platform.Result, error) {
+	if !e.Supports(a) {
+		return nil, fmt.Errorf("%w: %s on pushpull", platform.ErrUnsupported, a)
+	}
+	u, ok := up.(*uploaded)
+	if !ok {
+		return nil, fmt.Errorf("pushpull: foreign upload handle %T", up)
+	}
+	p = p.WithDefaults(a)
+	cl := u.Cl
+
+	t := granula.NewTracker(fmt.Sprintf("%s/%s", a, u.G.Name()), e.Name())
+	t.Begin(granula.PhaseSetup)
+	state := int64(u.G.NumVertices()) * 16
+	for m := 0; m < cl.Machines(); m++ {
+		if err := cl.Alloc(m, state); err != nil {
+			t.End()
+			return nil, fmt.Errorf("pushpull: allocate state: %w", err)
+		}
+		defer cl.Free(m, state)
+	}
+	t.End()
+
+	cl.ResetTime()
+	t.Begin(granula.PhaseProcess)
+	out, pushes, pulls, err := e.run(ctx, u, a, p)
+	t.Annotate("rounds", fmt.Sprint(cl.Rounds()))
+	t.Annotate("push_rounds", fmt.Sprint(pushes))
+	t.Annotate("pull_rounds", fmt.Sprint(pulls))
+	t.Current().Modeled = cl.SimulatedTime()
+	t.End()
+	if err != nil {
+		return nil, err
+	}
+	t.Begin(granula.PhaseOffload)
+	t.End()
+	return platform.NewResult(t, cl, out), nil
+}
+
+func (e *Engine) run(ctx context.Context, u *uploaded, a algorithms.Algorithm, p algorithms.Params) (out *algorithms.Output, pushes, pulls int, err error) {
+	switch a {
+	case algorithms.BFS:
+		src, ok := u.G.Index(p.Source)
+		if !ok {
+			return nil, 0, 0, fmt.Errorf("pushpull: %w: %d", algorithms.ErrSourceNotFound, p.Source)
+		}
+		vals, pushes, pulls, err := bfs(ctx, u, src, e.forceDirection)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: vals}, pushes, pulls, nil
+	case algorithms.PR:
+		vals, err := pagerank(ctx, u, p.Iterations, p.Damping)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return &algorithms.Output{Algorithm: a, Float: vals}, 0, p.Iterations, nil
+	case algorithms.WCC:
+		vals, rounds, err := wcc(ctx, u)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: vals}, 0, rounds, nil
+	case algorithms.CDLP:
+		vals, err := cdlp(ctx, u, p.Iterations)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: vals}, 0, p.Iterations, nil
+	case algorithms.SSSP:
+		if !u.G.Weighted() {
+			return nil, 0, 0, algorithms.ErrNeedsWeights
+		}
+		src, ok := u.G.Index(p.Source)
+		if !ok {
+			return nil, 0, 0, fmt.Errorf("pushpull: %w: %d", algorithms.ErrSourceNotFound, p.Source)
+		}
+		vals, rounds, err := sssp(ctx, u, src)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return &algorithms.Output{Algorithm: a, Float: vals}, rounds, 0, nil
+	}
+	return nil, 0, 0, fmt.Errorf("%w: %s", platform.ErrUnsupported, a)
+}

@@ -1,0 +1,455 @@
+package spmv
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/platform"
+)
+
+// pagerank is a dense pull SpMV: every iteration runs one "apply" round
+// computing the contribution vector rank/outdeg plus the dangling mass,
+// then one "gather" round computing A^T * contrib per owned row. Each
+// round ends with an allgather of the machine's vector slice.
+func pagerank(ctx context.Context, u *uploaded, iterations int, damping float64) ([]float64, error) {
+	m, cl, part := u.m, u.Cl, u.part
+	n := m.n
+	if n == 0 {
+		return nil, nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	contrib := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	danglingParts := make([]float64, cl.Machines())
+	for it := 0; it < iterations; it++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := part.Verts[mach]
+			parts := make([]float64, th.Count())
+			th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+				var d float64
+				for _, v := range verts[lo:hi] {
+					deg := m.outDegree(v)
+					if deg == 0 {
+						d += rank[v]
+						contrib[v] = 0
+					} else {
+						contrib[v] = rank[v] / float64(deg)
+					}
+				}
+				parts[w] += d
+			})
+			var d float64
+			for _, x := range parts {
+				d += x
+			}
+			danglingParts[mach] = d
+			cl.Broadcast(mach, int64(len(verts))*8)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var dangling float64
+		for _, d := range danglingParts {
+			dangling += d
+		}
+		base := (1-damping)*inv + damping*dangling*inv
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := part.Verts[mach]
+			th.Chunks(len(verts), func(lo, hi int) {
+				for _, v := range verts[lo:hi] {
+					sum := 0.0
+					for _, uix := range m.col(v) {
+						sum += contrib[uix]
+					}
+					next[v] = base + damping*sum
+				}
+			})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		rank, next = next, rank
+	}
+	return rank, nil
+}
+
+// bfs is a sparse frontier SpMSpV over the (select, min) semiring: each
+// level, the machines push from their owned frontier rows; discovered
+// vertices are routed to their owning machines for the next level.
+func bfs(ctx context.Context, u *uploaded, source int32) ([]int64, error) {
+	m, cl, part := u.m, u.Cl, u.part
+	n := m.n
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = algorithms.Unreachable
+	}
+	depth[source] = 0
+	frontiers := make([][]int32, cl.Machines())
+	frontiers[part.Owner[source]] = []int32{source}
+	total := 1
+	for level := int64(1); total > 0; level++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		discovered := make([][]int32, cl.Machines())
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			local := frontiers[mach]
+			parts := make([][]int32, th.Count())
+			th.ChunksIndexed(len(local), func(w, lo, hi int) {
+				var buf []int32
+				for _, v := range local[lo:hi] {
+					for _, dst := range m.row(v) {
+						if atomic.CompareAndSwapInt64(&depth[dst], algorithms.Unreachable, level) {
+							buf = append(buf, dst)
+						}
+					}
+				}
+				parts[w] = buf
+			})
+			var merged []int32
+			for _, p := range parts {
+				merged = append(merged, p...)
+			}
+			discovered[mach] = merged
+			// Route each remotely-owned discovery to its owner (12 bytes:
+			// vertex id + level).
+			out := make([]int64, cl.Machines())
+			for _, d := range merged {
+				if o := part.Owner[d]; int(o) != mach {
+					out[o] += 12
+				}
+			}
+			for o, b := range out {
+				cl.Send(mach, o, b)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for mach := range frontiers {
+			frontiers[mach] = frontiers[mach][:0]
+		}
+		total = 0
+		for _, list := range discovered {
+			for _, d := range list {
+				o := part.Owner[d]
+				frontiers[o] = append(frontiers[o], d)
+				total++
+			}
+		}
+	}
+	return depth, nil
+}
+
+// wcc iterates a dense min-SpMV (over in-edges, plus out-edges for
+// directed graphs) until the label vector reaches its fixpoint.
+func wcc(ctx context.Context, u *uploaded) ([]int64, error) {
+	m, cl, part := u.m, u.Cl, u.part
+	n := m.n
+	labels := make([]int32, n)
+	next := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	changed := make([]bool, cl.Machines())
+	for {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := part.Verts[mach]
+			parts := make([]bool, th.Count())
+			th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+				ch := false
+				for _, v := range verts[lo:hi] {
+					best := labels[v]
+					for _, uix := range m.col(v) {
+						if l := labels[uix]; l < best {
+							best = l
+						}
+					}
+					if m.directed {
+						for _, uix := range m.row(v) {
+							if l := labels[uix]; l < best {
+								best = l
+							}
+						}
+					}
+					next[v] = best
+					if best != labels[v] {
+						ch = true
+					}
+				}
+				parts[w] = ch
+			})
+			ch := false
+			for _, p := range parts {
+				ch = ch || p
+			}
+			changed[mach] = ch
+			cl.Broadcast(mach, int64(len(verts))*4)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		labels, next = next, labels
+		any := false
+		for _, c := range changed {
+			any = any || c
+		}
+		if !any {
+			break
+		}
+	}
+	out := make([]int64, n)
+	for v := 0; v < n; v++ {
+		out[v] = u.G.VertexID(labels[v])
+	}
+	return out, nil
+}
+
+// cdlp runs the deterministic label-propagation iterations as column
+// gathers with a per-worker histogram reduce.
+func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
+	m, cl, part := u.m, u.Cl, u.part
+	n := m.n
+	labels := make([]int64, n)
+	next := make([]int64, n)
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = u.G.VertexID(v)
+	}
+	for it := 0; it < iterations; it++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			verts := part.Verts[mach]
+			th.Chunks(len(verts), func(lo, hi int) {
+				counts := make(map[int64]int, 16)
+				for _, v := range verts[lo:hi] {
+					clear(counts)
+					// Column gather (in-neighbors); undirected graphs have
+					// a symmetric matrix so this is the whole neighborhood.
+					for _, uix := range m.col(v) {
+						counts[labels[uix]]++
+					}
+					if m.directed {
+						for _, uix := range m.row(v) {
+							counts[labels[uix]]++
+						}
+					}
+					best, bestCount := labels[v], 0
+					for l, c := range counts {
+						if c > bestCount || (c == bestCount && l < best) {
+							best, bestCount = l, c
+						}
+					}
+					next[v] = best
+				}
+			})
+			cl.Broadcast(mach, int64(len(verts))*8)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		labels, next = next, labels
+	}
+	return labels, nil
+}
+
+// lcc counts triangles as masked sparse row intersections: for vertex v
+// with neighborhood N(v), the number of closed wedges is the sum over
+// u in N(v) of |row(u) ∩ N(v)|, computed by sorted-list merges. Remote
+// rows must be fetched, which the engine accounts as traffic from the row
+// owner.
+func lcc(ctx context.Context, u *uploaded) ([]float64, error) {
+	m, cl, part := u.m, u.Cl, u.part
+	n := m.n
+	out := make([]float64, n)
+	err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+		verts := part.Verts[mach]
+		fetched := make([][]int64, th.Count())
+		for w := range fetched {
+			fetched[w] = make([]int64, cl.Machines())
+		}
+		th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+			var hood []int32
+			for _, v := range verts[lo:hi] {
+				hood = unionSorted(m.row(v), m.col(v), v, m.directed, hood[:0])
+				d := len(hood)
+				if d < 2 {
+					continue
+				}
+				arcs := 0
+				for _, uix := range hood {
+					if o := part.Owner[uix]; int(o) != mach {
+						fetched[w][o] += int64(m.outDegree(uix)) * 4
+					}
+					arcs += intersectCount(m.row(uix), hood, v)
+				}
+				out[v] = float64(arcs) / (float64(d) * float64(d-1))
+			}
+		})
+		for w := range fetched {
+			for o, b := range fetched[w] {
+				cl.Send(o, mach, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// unionSorted merges two sorted neighbor lists, dropping duplicates and
+// self. For undirected (symmetric) matrices only the row is used.
+func unionSorted(row, col []int32, v int32, directed bool, buf []int32) []int32 {
+	if !directed {
+		return append(buf, row...)
+	}
+	i, j := 0, 0
+	for i < len(row) || j < len(col) {
+		var next int32
+		switch {
+		case i == len(row):
+			next = col[j]
+			j++
+		case j == len(col):
+			next = row[i]
+			i++
+		case row[i] < col[j]:
+			next = row[i]
+			i++
+		case col[j] < row[i]:
+			next = col[j]
+			j++
+		default:
+			next = row[i]
+			i++
+			j++
+		}
+		if next != v {
+			buf = append(buf, next)
+		}
+	}
+	return buf
+}
+
+// intersectCount returns |a ∩ b| excluding the vertex v, for two sorted
+// lists.
+func intersectCount(a, b []int32, v int32) int {
+	count, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			if a[i] != v {
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// sssp is a sparse Bellman-Ford SpMSpV over the (min, +) semiring with
+// frontier routing identical to bfs.
+func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
+	m, cl, part := u.m, u.Cl, u.part
+	n := m.n
+	bits := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range bits {
+		bits[i] = inf
+	}
+	bits[source] = math.Float64bits(0)
+	inNext := make([]atomic.Bool, n)
+	frontiers := make([][]int32, cl.Machines())
+	frontiers[part.Owner[source]] = []int32{source}
+	total := 1
+	for total > 0 {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		discovered := make([][]int32, cl.Machines())
+		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+			local := frontiers[mach]
+			parts := make([][]int32, th.Count())
+			th.ChunksIndexed(len(local), func(w, lo, hi int) {
+				var buf []int32
+				for _, v := range local[lo:hi] {
+					dv := math.Float64frombits(atomic.LoadUint64(&bits[v]))
+					ws := m.rowWeights(v)
+					for i, dst := range m.row(v) {
+						nd := dv + ws[i]
+						for {
+							old := atomic.LoadUint64(&bits[dst])
+							if nd >= math.Float64frombits(old) {
+								break
+							}
+							if atomic.CompareAndSwapUint64(&bits[dst], old, math.Float64bits(nd)) {
+								if inNext[dst].CompareAndSwap(false, true) {
+									buf = append(buf, dst)
+								}
+								break
+							}
+						}
+					}
+				}
+				parts[w] = buf
+			})
+			var merged []int32
+			for _, p := range parts {
+				merged = append(merged, p...)
+			}
+			discovered[mach] = merged
+			out := make([]int64, cl.Machines())
+			for _, d := range merged {
+				if o := part.Owner[d]; int(o) != mach {
+					out[o] += 16 // vertex id + distance
+				}
+			}
+			for o, b := range out {
+				cl.Send(mach, o, b)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for mach := range frontiers {
+			frontiers[mach] = frontiers[mach][:0]
+		}
+		total = 0
+		for _, list := range discovered {
+			for _, d := range list {
+				inNext[d].Store(false)
+				frontiers[part.Owner[d]] = append(frontiers[part.Owner[d]], d)
+				total++
+			}
+		}
+	}
+	dist := make([]float64, n)
+	for i, b := range bits {
+		dist[i] = math.Float64frombits(b)
+	}
+	return dist, nil
+}

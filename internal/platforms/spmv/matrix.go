@@ -1,0 +1,96 @@
+package spmv
+
+import "graphalytics/internal/graph"
+
+// matrix is the engine's sparse-matrix storage: the adjacency matrix A
+// (A[i][j] = 1 or the edge weight when edge i->j exists) in both CSR and
+// CSC layouts. CSR rows give out-edges (used by push-style SpMSpV over a
+// sparse frontier), CSC columns give in-edges (used by pull-style dense
+// SpMV). For undirected graphs the matrix is symmetric and both layouts
+// share storage.
+type matrix struct {
+	n        int
+	directed bool
+	weighted bool
+
+	rowOff []int64
+	colIdx []int32
+	rowVal []float64 // nil when unweighted
+
+	colOff []int64
+	rowIdx []int32
+	colVal []float64
+}
+
+// newMatrix converts a graph into the engine's own layout; this copy is
+// the platform-specific "upload" work.
+func newMatrix(g *graph.Graph) *matrix {
+	n := g.NumVertices()
+	m := &matrix{n: n, directed: g.Directed(), weighted: g.Weighted()}
+	m.rowOff, m.colIdx, m.rowVal = copyAdj(g, n, false)
+	if g.Directed() {
+		m.colOff, m.rowIdx, m.colVal = copyAdj(g, n, true)
+	} else {
+		m.colOff, m.rowIdx, m.colVal = m.rowOff, m.colIdx, m.rowVal
+	}
+	return m
+}
+
+// copyAdj materializes one adjacency direction into fresh arrays.
+func copyAdj(g *graph.Graph, n int, in bool) ([]int64, []int32, []float64) {
+	off := make([]int64, n+1)
+	var total int64
+	for v := int32(0); v < int32(n); v++ {
+		if in {
+			total += int64(g.InDegree(v))
+		} else {
+			total += int64(g.OutDegree(v))
+		}
+		off[v+1] = total
+	}
+	adj := make([]int32, total)
+	var vals []float64
+	if g.Weighted() {
+		vals = make([]float64, total)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		var src []int32
+		var ws []float64
+		if in {
+			src, ws = g.InNeighbors(v), g.InWeights(v)
+		} else {
+			src, ws = g.OutNeighbors(v), g.OutWeights(v)
+		}
+		copy(adj[off[v]:off[v+1]], src)
+		if vals != nil {
+			copy(vals[off[v]:off[v+1]], ws)
+		}
+	}
+	return off, adj, vals
+}
+
+// row returns the column indices of row v (out-neighbors).
+func (m *matrix) row(v int32) []int32 { return m.colIdx[m.rowOff[v]:m.rowOff[v+1]] }
+
+// rowWeights returns the values of row v, nil when unweighted.
+func (m *matrix) rowWeights(v int32) []float64 {
+	if m.rowVal == nil {
+		return nil
+	}
+	return m.rowVal[m.rowOff[v]:m.rowOff[v+1]]
+}
+
+// col returns the row indices of column v (in-neighbors).
+func (m *matrix) col(v int32) []int32 { return m.rowIdx[m.colOff[v]:m.colOff[v+1]] }
+
+// outDegree returns the number of non-zeros in row v.
+func (m *matrix) outDegree(v int32) int { return int(m.rowOff[v+1] - m.rowOff[v]) }
+
+// footprint returns the bytes held by the matrix arrays.
+func (m *matrix) footprint() int64 {
+	b := int64(len(m.rowOff))*8 + int64(len(m.colIdx))*4 + int64(len(m.rowVal))*8
+	if m.directed {
+		b += int64(len(m.colOff))*8 + int64(len(m.rowIdx))*4 + int64(len(m.colVal))*8
+	}
+	return b
+}

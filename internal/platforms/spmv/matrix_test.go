@@ -1,0 +1,52 @@
+package spmv
+
+import (
+	"testing"
+
+	"graphalytics/internal/graph"
+)
+
+func TestMatrixLayoutDirected(t *testing.T) {
+	g, err := graph.FromEdges("m", true, true, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 2}, {Src: 0, Dst: 2, Weight: 3}, {Src: 2, Dst: 1, Weight: 5},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMatrix(g)
+	if m.n != 3 || !m.directed || !m.weighted {
+		t.Fatalf("matrix header wrong: %+v", m)
+	}
+	if got := m.row(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("row 0 = %v, want [1 2]", got)
+	}
+	if got := m.rowWeights(0); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("row 0 weights = %v", got)
+	}
+	if got := m.col(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("col 1 = %v, want [0 2]", got)
+	}
+	if m.outDegree(0) != 2 || m.outDegree(1) != 0 {
+		t.Fatal("out degrees wrong")
+	}
+	if m.footprint() <= 0 {
+		t.Fatal("footprint must be positive")
+	}
+}
+
+func TestMatrixUndirectedSharesStorage(t *testing.T) {
+	g, err := graph.FromEdges("u", false, false, []graph.Edge{{Src: 0, Dst: 1}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMatrix(g)
+	if &m.rowOff[0] != &m.colOff[0] {
+		t.Fatal("undirected (symmetric) matrix must alias CSR and CSC")
+	}
+	// Footprint must not double-count the aliased arrays.
+	dir, _ := graph.FromEdges("d", true, false, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}, graph.BuildOptions{})
+	md := newMatrix(dir)
+	if m.footprint() >= md.footprint() {
+		t.Fatalf("symmetric footprint %d should be below directed %d", m.footprint(), md.footprint())
+	}
+}

@@ -1,0 +1,226 @@
+// Package spmv implements a sparse-matrix graph-analysis engine, standing
+// in for Intel GraphMat in the paper's evaluation. Pregel-like vertex
+// programs are mapped onto generalized sparse matrix-vector products: the
+// graph is stored as a sparse matrix in both CSR (rows = edge sources) and
+// CSC (columns = edge destinations) layouts, per-vertex state lives in
+// dense or sparse vectors, and every algorithm iteration is one or two
+// (masked, semiring-generalized) SpMV passes.
+//
+// Like GraphMat, the engine has two backends that must be selected
+// manually: a single-machine shared-memory backend (S) and a distributed
+// backend (D) with 1-D row partitioning and an allgather of the operand
+// vector per iteration. SSSP is only available on the D backend, mirroring
+// the paper's setup.
+package spmv
+
+import (
+	"context"
+	"fmt"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/granula"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+// Backend selects the GraphMat-style execution backend.
+type Backend string
+
+// The two backends. The benchmark harness picks S for single-machine
+// experiments and D for distributed ones, as the paper does.
+const (
+	BackendS Backend = "S" // single-machine shared memory
+	BackendD Backend = "D" // distributed, 1-D row-partitioned
+)
+
+// Engine is the sparse-matrix platform driver.
+type Engine struct {
+	backend Backend
+}
+
+// New returns an engine with the given backend.
+func New(b Backend) *Engine { return &Engine{backend: b} }
+
+// Name implements platform.Platform.
+func (e *Engine) Name() string {
+	if e.backend == BackendD {
+		return "spmv-d"
+	}
+	return "spmv-s"
+}
+
+// Description implements platform.Platform.
+func (e *Engine) Description() string {
+	if e.backend == BackendD {
+		return "sparse matrix backend, distributed 1-D partitioning (GraphMat(D)-style)"
+	}
+	return "sparse matrix backend, shared memory (GraphMat(S)-style)"
+}
+
+// Distributed implements platform.Platform.
+func (e *Engine) Distributed() bool { return e.backend == BackendD }
+
+// Supports implements platform.Platform. The shared-memory backend has no
+// SSSP (the paper uses the D backend for SSSP for this reason).
+func (e *Engine) Supports(a algorithms.Algorithm) bool {
+	if a == algorithms.SSSP {
+		return e.backend == BackendD
+	}
+	switch a {
+	case algorithms.BFS, algorithms.PR, algorithms.WCC, algorithms.CDLP, algorithms.LCC:
+		return true
+	}
+	return false
+}
+
+type uploaded struct {
+	platform.BaseUpload
+	m     *matrix
+	part  *cluster.VertexPartition
+	bytes []int64 // per-machine registered bytes
+}
+
+func (u *uploaded) Free() {
+	for m, b := range u.bytes {
+		u.Cl.Free(m, b)
+	}
+}
+
+// Upload implements platform.Platform: it converts the graph into the
+// engine's CSR+CSC matrix layout and registers the per-machine memory
+// shares.
+func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	if e.backend == BackendS && cfg.Machines > 1 {
+		return nil, fmt.Errorf("%w: spmv backend S runs on one machine", platform.ErrNotDistributed)
+	}
+	cl := cluster.New(cfg.ClusterConfig())
+	part := cluster.PartitionVerticesRange(g, cl.Machines())
+	m := newMatrix(g)
+	u := &uploaded{
+		BaseUpload: platform.BaseUpload{G: g, Cl: cl},
+		m:          m,
+		part:       part,
+		bytes:      make([]int64, cl.Machines()),
+	}
+	// Each machine holds its share of matrix rows/columns plus a full
+	// replica of one dense operand vector (the allgathered x).
+	total := m.footprint()
+	perMachine := total/int64(cl.Machines()) + int64(g.NumVertices())*8
+	for mach := 0; mach < cl.Machines(); mach++ {
+		if err := cl.Alloc(mach, perMachine); err != nil {
+			u.Free()
+			return nil, fmt.Errorf("spmv: upload %s: %w", g.Name(), err)
+		}
+		u.bytes[mach] = perMachine
+	}
+	return u, nil
+}
+
+// Execute implements platform.Platform.
+func (e *Engine) Execute(ctx context.Context, up platform.Uploaded, a algorithms.Algorithm, p algorithms.Params) (*platform.Result, error) {
+	if !e.Supports(a) {
+		return nil, fmt.Errorf("%w: %s on %s", platform.ErrUnsupported, a, e.Name())
+	}
+	u, ok := up.(*uploaded)
+	if !ok {
+		return nil, fmt.Errorf("spmv: foreign upload handle %T", up)
+	}
+	p = p.WithDefaults(a)
+	cl := u.Cl
+
+	t := granula.NewTracker(fmt.Sprintf("%s/%s", a, u.G.Name()), e.Name())
+	t.Begin(granula.PhaseSetup)
+	state := stateFootprint(u.G, a)
+	for mach := 0; mach < cl.Machines(); mach++ {
+		if err := cl.Alloc(mach, state); err != nil {
+			t.End()
+			return nil, fmt.Errorf("spmv: allocate vectors for %s: %w", a, err)
+		}
+		defer cl.Free(mach, state)
+	}
+	t.End()
+
+	cl.ResetTime()
+	t.Begin(granula.PhaseProcess)
+	out, err := e.run(ctx, u, a, p)
+	t.Annotate("rounds", fmt.Sprint(cl.Rounds()))
+	t.Current().Modeled = cl.SimulatedTime()
+	t.End()
+	if err != nil {
+		return nil, err
+	}
+	t.Begin(granula.PhaseOffload)
+	t.End()
+	return platform.NewResult(t, cl, out), nil
+}
+
+func (e *Engine) run(ctx context.Context, u *uploaded, a algorithms.Algorithm, p algorithms.Params) (*algorithms.Output, error) {
+	switch a {
+	case algorithms.BFS:
+		src, ok := u.G.Index(p.Source)
+		if !ok {
+			return nil, fmt.Errorf("spmv: %w: %d", algorithms.ErrSourceNotFound, p.Source)
+		}
+		depth, err := bfs(ctx, u, src)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: depth}, nil
+	case algorithms.PR:
+		rank, err := pagerank(ctx, u, p.Iterations, p.Damping)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Float: rank}, nil
+	case algorithms.WCC:
+		labels, err := wcc(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: labels}, nil
+	case algorithms.CDLP:
+		labels, err := cdlp(ctx, u, p.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Int: labels}, nil
+	case algorithms.LCC:
+		vals, err := lcc(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Float: vals}, nil
+	case algorithms.SSSP:
+		if !u.G.Weighted() {
+			return nil, algorithms.ErrNeedsWeights
+		}
+		src, ok := u.G.Index(p.Source)
+		if !ok {
+			return nil, fmt.Errorf("spmv: %w: %d", algorithms.ErrSourceNotFound, p.Source)
+		}
+		dist, err := sssp(ctx, u, src)
+		if err != nil {
+			return nil, err
+		}
+		return &algorithms.Output{Algorithm: a, Float: dist}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", platform.ErrUnsupported, a)
+}
+
+// stateFootprint estimates the dense vectors the engine allocates per run;
+// every machine replicates the operand vectors.
+func stateFootprint(g *graph.Graph, a algorithms.Algorithm) int64 {
+	n := int64(g.NumVertices())
+	switch a {
+	case algorithms.PR:
+		return n * 24 // rank, next, contrib
+	case algorithms.BFS, algorithms.SSSP:
+		return n * 16 // value vector + frontier flags
+	case algorithms.WCC, algorithms.CDLP:
+		return n * 16 // two label vectors
+	case algorithms.LCC:
+		return n * 8
+	}
+	return n * 8
+}

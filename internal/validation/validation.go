@@ -1,0 +1,105 @@
+// Package validation implements the benchmark's output validation
+// (requirement R3): a platform's output for an algorithm is correct if it
+// is equivalent to the reference implementation's output. Integer-valued
+// algorithms (BFS, WCC, CDLP) must match exactly; floating-point
+// algorithms (PR, LCC, SSSP) are compared with a relative epsilon, since
+// platforms may legitimately accumulate sums in different orders.
+package validation
+
+import (
+	"fmt"
+	"math"
+
+	"graphalytics/internal/algorithms"
+)
+
+// Tolerances for floating-point outputs.
+const (
+	// RelEpsilon is the maximum relative difference accepted between a
+	// platform value and the reference value.
+	RelEpsilon = 1e-6
+	// AbsEpsilon accepts tiny absolute differences near zero, where
+	// relative error is meaningless.
+	AbsEpsilon = 1e-12
+)
+
+// Report describes the outcome of validating one output against the
+// reference.
+type Report struct {
+	// OK is true when the outputs are equivalent.
+	OK bool
+	// Checked is the number of per-vertex values compared.
+	Checked int
+	// Mismatches is the number of values that differed.
+	Mismatches int
+	// FirstDiff describes the first differing vertex, for diagnostics.
+	FirstDiff string
+}
+
+// Error converts a failed report into an error (nil when OK).
+func (r Report) Error() error {
+	if r.OK {
+		return nil
+	}
+	return fmt.Errorf("validation: %d of %d values differ; first: %s", r.Mismatches, r.Checked, r.FirstDiff)
+}
+
+// Validate compares a platform output against the reference output.
+// The ids slice maps internal vertex indices to external identifiers for
+// diagnostics.
+func Validate(got, want *algorithms.Output, ids []int64) Report {
+	r := Report{OK: true}
+	if got == nil {
+		return Report{FirstDiff: "platform produced no output"}
+	}
+	if got.Len() != want.Len() {
+		return Report{FirstDiff: fmt.Sprintf("output length %d, want %d", got.Len(), want.Len())}
+	}
+	if got.IsFloat() != want.IsFloat() {
+		return Report{FirstDiff: fmt.Sprintf("output type float=%v, want float=%v", got.IsFloat(), want.IsFloat())}
+	}
+	r.Checked = want.Len()
+	record := func(v int, detail string) {
+		r.OK = false
+		r.Mismatches++
+		if r.FirstDiff == "" {
+			id := int64(v)
+			if v < len(ids) {
+				id = ids[v]
+			}
+			r.FirstDiff = fmt.Sprintf("vertex %d: %s", id, detail)
+		}
+	}
+	if want.Int != nil {
+		for v := range want.Int {
+			if got.Int[v] != want.Int[v] {
+				record(v, fmt.Sprintf("got %d, want %d", got.Int[v], want.Int[v]))
+			}
+		}
+		return r
+	}
+	for v := range want.Float {
+		if !FloatEquivalent(got.Float[v], want.Float[v]) {
+			record(v, fmt.Sprintf("got %g, want %g", got.Float[v], want.Float[v]))
+		}
+	}
+	return r
+}
+
+// FloatEquivalent reports whether two floating-point output values are
+// equal within tolerance. Infinities (unreachable SSSP vertices) must
+// match exactly; NaN is never equivalent to anything.
+func FloatEquivalent(got, want float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return false
+	}
+	if math.IsInf(want, 0) || math.IsInf(got, 0) {
+		return got == want
+	}
+	diff := math.Abs(got - want)
+	if diff <= AbsEpsilon {
+		return true
+	}
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	return diff <= RelEpsilon*scale
+}

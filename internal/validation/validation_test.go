@@ -1,0 +1,75 @@
+package validation_test
+
+import (
+	"math"
+	"testing"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/validation"
+)
+
+func TestValidateIntExact(t *testing.T) {
+	want := &algorithms.Output{Algorithm: algorithms.BFS, Int: []int64{0, 1, 2}}
+	got := &algorithms.Output{Algorithm: algorithms.BFS, Int: []int64{0, 1, 2}}
+	if rep := validation.Validate(got, want, []int64{10, 20, 30}); !rep.OK || rep.Checked != 3 {
+		t.Fatalf("expected OK with 3 checks, got %+v", rep)
+	}
+	got.Int[1] = 99
+	rep := validation.Validate(got, want, []int64{10, 20, 30})
+	if rep.OK || rep.Mismatches != 1 {
+		t.Fatalf("expected 1 mismatch, got %+v", rep)
+	}
+	if rep.FirstDiff == "" || rep.Error() == nil {
+		t.Fatal("failed report must describe the first diff")
+	}
+}
+
+func TestValidateFloatEpsilon(t *testing.T) {
+	want := &algorithms.Output{Algorithm: algorithms.PR, Float: []float64{0.25, 0.75}}
+	got := &algorithms.Output{Algorithm: algorithms.PR, Float: []float64{0.25 + 1e-9, 0.75 - 1e-9}}
+	if rep := validation.Validate(got, want, nil); !rep.OK {
+		t.Fatalf("tiny float drift must validate: %+v", rep)
+	}
+	got.Float[0] = 0.26
+	if rep := validation.Validate(got, want, nil); rep.OK {
+		t.Fatal("1% drift must fail validation")
+	}
+}
+
+func TestValidateStructuralMismatches(t *testing.T) {
+	want := &algorithms.Output{Algorithm: algorithms.BFS, Int: []int64{0}}
+	if rep := validation.Validate(nil, want, nil); rep.OK {
+		t.Fatal("nil output must fail")
+	}
+	short := &algorithms.Output{Algorithm: algorithms.BFS, Int: []int64{}}
+	if rep := validation.Validate(short, want, nil); rep.OK {
+		t.Fatal("length mismatch must fail")
+	}
+	wrongType := &algorithms.Output{Algorithm: algorithms.BFS, Float: []float64{0}}
+	if rep := validation.Validate(wrongType, want, nil); rep.OK {
+		t.Fatal("type mismatch must fail")
+	}
+}
+
+func TestFloatEquivalent(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.0, 1.0, true},
+		{inf, inf, true},
+		{inf, 1e18, false},
+		{-inf, inf, false},
+		{0, 1e-13, true},               // below absolute epsilon
+		{1e6, 1e6 * (1 + 1e-7), true},  // below relative epsilon
+		{1e6, 1e6 * (1 + 1e-3), false}, // above relative epsilon
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 1, false},
+	}
+	for _, tc := range cases {
+		if got := validation.FloatEquivalent(tc.a, tc.b); got != tc.want {
+			t.Errorf("FloatEquivalent(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"graphalytics/internal/graph"
+	"graphalytics/internal/metrics"
+)
+
+// The renewal process (Section 2.4) re-derives the benchmark's reference
+// point every two years: class L is redefined as the largest class such
+// that a state-of-the-art platform completes BFS within one hour on every
+// graph of that class on a single commodity machine.
+
+// BFSTimer measures a single-machine BFS on a graph; the renewal process
+// is parameterized on it so any platform can serve as the state of the
+// art.
+type BFSTimer func(g *graph.Graph, source int64) (time.Duration, error)
+
+// RenewalResult reports a renewal evaluation.
+type RenewalResult struct {
+	// ClassL is the recomputed reference class.
+	ClassL metrics.Class
+	// PerDataset records the measured BFS time per evaluated dataset.
+	PerDataset map[string]time.Duration
+}
+
+// RenewClassL evaluates BFS on every catalog dataset with the given timer
+// and budget and returns the largest class whose graphs all complete
+// within the budget. Classes with no catalog graphs inherit eligibility
+// from their smaller neighbors.
+func RenewClassL(timer BFSTimer, budget time.Duration) (RenewalResult, error) {
+	res := RenewalResult{PerDataset: make(map[string]time.Duration)}
+	worst := make(map[metrics.Class]time.Duration)
+	for _, d := range Catalog() {
+		g, err := Load(d.ID)
+		if err != nil {
+			return res, err
+		}
+		t, err := timer(g, d.Params.Source)
+		if err != nil {
+			return res, fmt.Errorf("workload: renewal BFS on %s: %w", d.ID, err)
+		}
+		res.PerDataset[d.ID] = t
+		c := Class(g)
+		if t > worst[c] {
+			worst[c] = t
+		}
+	}
+	// Walk classes from smallest upward; the reference class is the last
+	// one whose worst graph fits the budget.
+	ordered := []metrics.Class{
+		metrics.Class2XS, metrics.ClassXS, metrics.ClassS,
+		metrics.ClassM, metrics.ClassL, metrics.ClassXL, metrics.Class2XL,
+	}
+	last := metrics.Class2XS
+	for _, c := range ordered {
+		w, ok := worst[c]
+		if !ok {
+			continue // no graphs in this class: does not limit the walk
+		}
+		if w > budget {
+			break
+		}
+		last = c
+	}
+	res.ClassL = last
+	return res, nil
+}

@@ -1,0 +1,36 @@
+package workload
+
+// SurveyRow is one row of Table 1: the results of the two literature
+// surveys (124 articles on unweighted graph analysis, 44 on weighted) that
+// drive the first, data-driven stage of the two-stage workload selection
+// process (Section 2.2.2).
+type SurveyRow struct {
+	// Weighted distinguishes the weighted-graphs survey from the
+	// unweighted one.
+	Weighted bool
+	// Class is the algorithm class, e.g. "Traversal".
+	Class string
+	// Selected lists the core algorithms chosen from this class.
+	Selected string
+	// Count is the number of algorithm occurrences in the surveyed
+	// articles and Percent its share within the survey.
+	Count   int
+	Percent float64
+}
+
+// Survey returns Table 1 verbatim: the algorithm-class frequencies that
+// justify the selection of the six core algorithms.
+func Survey() []SurveyRow {
+	return []SurveyRow{
+		{Weighted: false, Class: "Statistics", Selected: "PR, LCC", Count: 24, Percent: 17.0},
+		{Weighted: false, Class: "Traversal", Selected: "BFS", Count: 69, Percent: 48.9},
+		{Weighted: false, Class: "Components", Selected: "WCC, CDLP", Count: 20, Percent: 14.2},
+		{Weighted: false, Class: "Graph Evolution", Selected: "", Count: 6, Percent: 4.2},
+		{Weighted: false, Class: "Other", Selected: "", Count: 22, Percent: 15.6},
+		{Weighted: true, Class: "Distances/Paths", Selected: "SSSP", Count: 17, Percent: 34},
+		{Weighted: true, Class: "Clustering", Selected: "", Count: 7, Percent: 14},
+		{Weighted: true, Class: "Partitioning", Selected: "", Count: 5, Percent: 10},
+		{Weighted: true, Class: "Routing", Selected: "", Count: 5, Percent: 10},
+		{Weighted: true, Class: "Other", Selected: "", Count: 16, Percent: 32},
+	}
+}
