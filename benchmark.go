@@ -3,6 +3,7 @@ package graphalytics
 import (
 	"time"
 
+	"graphalytics/internal/cluster"
 	"graphalytics/internal/core"
 	"graphalytics/internal/datagen"
 	"graphalytics/internal/graph500"
@@ -11,8 +12,63 @@ import (
 	"graphalytics/internal/workload"
 )
 
+// Session is the harness's context-first orchestrator: it runs benchmark
+// jobs with SLA enforcement, single-flighted reference validation, a
+// results database, a bounded-parallelism scheduler (RunAll) and a
+// streaming progress Observer. Construct one with NewSession and
+// functional options; see DESIGN.md for the full API and the migration
+// guide from the deprecated Runner.
+type Session = core.Session
+
+// Option configures a Session (or one RunAll batch).
+type Option = core.Option
+
+// ExperimentConfig parameterizes the experiment suites run through a
+// Session (platform sets, resource axes, experiment-specific knobs).
+type ExperimentConfig = core.ExperimentConfig
+
+// NewSession returns a session with validation on, the default network
+// model, a fresh results database and GOMAXPROCS parallelism, overridden
+// by the given options.
+func NewSession(opts ...Option) *Session { return core.NewSession(opts...) }
+
+// Functional options for NewSession and Session.RunAll.
+func WithSLA(d time.Duration) Option            { return core.WithSLA(d) }
+func WithValidation(on bool) Option             { return core.WithValidation(on) }
+func WithNetwork(n cluster.NetworkModel) Option { return core.WithNetwork(n) }
+func WithResultsDB(db *core.ResultsDB) Option   { return core.WithResultsDB(db) }
+func WithParallelism(n int) Option              { return core.WithParallelism(n) }
+func WithObserver(o Observer) Option            { return core.WithObserver(o) }
+
+// NetworkModel is the interconnect model distributed jobs are charged
+// against; DefaultNetwork approximates the paper's testbed baseline.
+type NetworkModel = cluster.NetworkModel
+
+// DefaultNetwork returns the paper-testbed interconnect model.
+func DefaultNetwork() NetworkModel { return cluster.DefaultNetwork() }
+
+// Observer receives a session's streaming progress events; Event and
+// EventType describe the stream. The session serializes Observe calls.
+type (
+	Observer     = core.Observer
+	ObserverFunc = core.ObserverFunc
+	Event        = core.Event
+	EventType    = core.EventType
+)
+
+// The event stream: per-job start/finish and per-experiment phase events.
+const (
+	EventJobStarted         = core.EventJobStarted
+	EventJobFinished        = core.EventJobFinished
+	EventExperimentStarted  = core.EventExperimentStarted
+	EventExperimentFinished = core.EventExperimentFinished
+)
+
 // Runner executes benchmark jobs with SLA enforcement, validation and a
 // results database.
+//
+// Deprecated: use Session via NewSession; Runner remains as a shim for
+// one release. Runner.Session converts existing code incrementally.
 type Runner = core.Runner
 
 // JobSpec is one benchmark job; JobResult one results-database record.
@@ -27,6 +83,14 @@ type Report = core.Report
 // ResultsDB is the harness's results database.
 type ResultsDB = core.ResultsDB
 
+// Description is a declarative benchmark description: the job matrix the
+// harness expands and schedules (component 1 of Figure 1).
+type Description = core.Description
+
+// Status classifies the outcome of a job; it is terminal for every
+// defined value (Status.Terminal) and renders via Status.String.
+type Status = core.Status
+
 // Job statuses.
 const (
 	StatusOK          = core.StatusOK
@@ -34,10 +98,14 @@ const (
 	StatusOOM         = core.StatusOOM
 	StatusFailed      = core.StatusFailed
 	StatusUnsupported = core.StatusUnsupported
+	StatusInvalid     = core.StatusInvalid
+	StatusCanceled    = core.StatusCanceled
 )
 
 // NewRunner returns a validating benchmark runner with the default
 // network model and a fresh results database.
+//
+// Deprecated: use NewSession.
 func NewRunner() *Runner { return core.NewRunner() }
 
 // Dataset is one workload catalog entry.
@@ -64,10 +132,14 @@ func SingleMachinePlatforms() []string { return append([]string(nil), platforms.
 // DistributedPlatforms lists the engines used in distributed experiments.
 func DistributedPlatforms() []string { return append([]string(nil), platforms.DistributedSet...) }
 
-// Experiment wrappers: each regenerates one paper artifact. See
-// DESIGN.md's per-experiment index for the mapping.
+// Experiment entry points: each regenerates one paper artifact. The
+// canonical API is the context-first Session methods (s.DatasetVariety,
+// s.AlgorithmVariety, ...); see DESIGN.md's per-experiment index for the
+// artifact mapping. The positional wrappers below are deprecated shims.
 
 // DatasetVariety runs Figure 4 (Tproc of BFS and PR across datasets).
+//
+// Deprecated: use Session.DatasetVariety.
 func DatasetVariety(r *Runner, platformNames []string, threads int) (*Report, error) {
 	return core.DatasetVariety(r, platformNames, threads)
 }
@@ -78,11 +150,15 @@ func ThroughputReport(db *ResultsDB, platformNames []string) *Report {
 }
 
 // AlgorithmVariety runs Figure 6 (all algorithms on R4 and D300).
+//
+// Deprecated: use Session.AlgorithmVariety.
 func AlgorithmVariety(r *Runner, platformNames []string, threads int) (*Report, error) {
 	return core.AlgorithmVariety(r, platformNames, threads)
 }
 
 // VerticalScalability runs Figure 7 (Tproc vs. threads).
+//
+// Deprecated: use Session.VerticalScalability.
 func VerticalScalability(r *Runner, platformNames []string, threadSweep []int) (*Report, error) {
 	return core.VerticalScalability(r, platformNames, threadSweep)
 }
@@ -93,6 +169,8 @@ func VerticalSpeedupReport(db *ResultsDB, platformNames []string) *Report {
 }
 
 // StrongScaling runs Figure 8 (Tproc vs. machines on D1000).
+//
+// Deprecated: use Session.StrongScaling.
 func StrongScaling(r *Runner, platformNames []string, machineSweep []int, threads int) (*Report, error) {
 	return core.StrongScaling(r, platformNames, machineSweep, threads)
 }
@@ -104,22 +182,30 @@ type WeakPair = core.WeakPair
 func DefaultWeakPairs() []WeakPair { return core.DefaultWeakPairs() }
 
 // WeakScaling runs Figure 9 (constant per-machine work).
+//
+// Deprecated: use Session.WeakScaling.
 func WeakScaling(r *Runner, platformNames []string, pairs []WeakPair, threads int) (*Report, error) {
 	return core.WeakScaling(r, platformNames, pairs, threads)
 }
 
 // StressTest runs Table 10 (smallest failing dataset per platform under a
 // memory budget).
+//
+// Deprecated: use Session.StressTest.
 func StressTest(r *Runner, platformNames []string, threads int, memoryBudget int64) (*Report, error) {
 	return core.StressTest(r, platformNames, threads, memoryBudget)
 }
 
 // Variability runs Table 11 (mean Tproc and coefficient of variation).
+//
+// Deprecated: use Session.Variability.
 func Variability(r *Runner, singleMachine, distributed []string, n, threads int) (*Report, error) {
 	return core.Variability(r, singleMachine, distributed, n, threads)
 }
 
 // MakespanBreakdown runs Table 8 (Tproc vs. makespan).
+//
+// Deprecated: use Session.MakespanBreakdown.
 func MakespanBreakdown(r *Runner, platformNames []string, threads int) (*Report, error) {
 	return core.MakespanBreakdown(r, platformNames, threads)
 }

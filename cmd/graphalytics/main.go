@@ -7,20 +7,26 @@
 //	graphalytics list                         # platforms, datasets, survey
 //	graphalytics run -platform native -dataset D300 -algorithm BFS
 //	graphalytics suite -id fig4               # run one experiment suite
-//	graphalytics suite -id all -out results.jsonl
+//	graphalytics suite -id all -out results.jsonl -parallel 4
 //	graphalytics renewal -budget 2s           # re-derive class L
+//
+// Long-running commands (run, suite, bench) honor Ctrl-C: the first
+// interrupt cancels the session context, in-flight jobs abort and are
+// marked canceled along with jobs not yet started, and the harness exits
+// promptly.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"graphalytics"
 	"graphalytics/internal/algorithms"
-	"graphalytics/internal/cluster"
 	"graphalytics/internal/core"
 	"graphalytics/internal/granula"
 	"graphalytics/internal/platform"
@@ -33,20 +39,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
 		err = cmdList(os.Args[2:])
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(ctx, os.Args[2:])
 	case "suite":
-		err = cmdSuite(os.Args[2:])
+		err = cmdSuite(ctx, os.Args[2:])
 	case "renewal":
 		err = cmdRenewal(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
 	case "bench":
-		err = cmdBench(os.Args[2:])
+		err = cmdBench(ctx, os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -61,10 +69,37 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|suite|renewal> [flags]
   list                      print platforms, datasets and the workload survey
   run     -platform -dataset -algorithm [-threads -machines -archive]
-  suite   -id <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table8|table9|table10|table11|all> [-out results.jsonl]
+  suite   -id <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table8|table9|table10|table11|all> [-out results.jsonl] [-parallel N] [-progress]
   renewal -budget <duration> [-platform native]
   validate -algorithm <name> -got <file> -want <file>
-  bench   -description <file.json> [-out results.jsonl]`)
+  bench   -description <file.json> [-out results.jsonl] [-parallel N] [-progress]`)
+}
+
+// progressObserver renders the session's event stream as live progress
+// lines. The session serializes Observe calls, so no locking is needed.
+func progressObserver(w io.Writer) graphalytics.Observer {
+	return graphalytics.ObserverFunc(func(e graphalytics.Event) {
+		switch e.Type {
+		case graphalytics.EventExperimentStarted:
+			fmt.Fprintf(w, ">> %s: running\n", e.Experiment)
+		case graphalytics.EventExperimentFinished:
+			fmt.Fprintf(w, ">> %s: done\n", e.Experiment)
+		case graphalytics.EventJobFinished:
+			pos := ""
+			if e.Total > 0 {
+				pos = fmt.Sprintf("[%d/%d] ", e.Index+1, e.Total)
+			}
+			if e.Err != nil {
+				fmt.Fprintf(w, "   %s%s/%s/%s: harness error: %v\n",
+					pos, e.Spec.Platform, e.Spec.Dataset, e.Spec.Algorithm, e.Err)
+				return
+			}
+			r := e.Result
+			fmt.Fprintf(w, "   %s%-9s %-6s %-5s t=%-2d m=%-2d %-14s Tproc=%v\n",
+				pos, e.Spec.Platform, e.Spec.Dataset, e.Spec.Algorithm,
+				e.Spec.Threads, e.Spec.Machines, r.Status, r.ProcessingTime)
+		}
+	})
 }
 
 func cmdList(args []string) error {
@@ -113,7 +148,7 @@ func orDash(s string) string {
 	return s
 }
 
-func cmdRun(args []string) error {
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	platformName := fs.String("platform", "native", "engine to run on")
 	dataset := fs.String("dataset", "D300", "dataset ID from the catalog")
@@ -139,14 +174,14 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	up, err := pl.Upload(g, platform.RunConfig{Threads: *threads, Machines: *machines, Net: cluster.DefaultNetwork()})
+	up, err := pl.Upload(g, platform.RunConfig{Threads: *threads, Machines: *machines, Net: graphalytics.DefaultNetwork()})
 	if err != nil {
 		return err
 	}
 	defer up.Free()
-	ctx, cancel := context.WithTimeout(context.Background(), *sla)
+	jctx, cancel := context.WithTimeout(ctx, *sla)
 	defer cancel()
-	res, err := pl.Execute(ctx, up, algorithms.Algorithm(*algorithm), d.Params)
+	res, err := pl.Execute(jctx, up, algorithms.Algorithm(*algorithm), d.Params)
 	if err != nil {
 		return err
 	}
@@ -193,10 +228,12 @@ func cmdRun(args []string) error {
 
 // cmdBench executes a JSON benchmark description end to end (component 1
 // of the architecture: the declarative input the harness processes).
-func cmdBench(args []string) error {
+func cmdBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	descPath := fs.String("description", "", "benchmark description JSON file")
 	out := fs.String("out", "", "write the results database (JSON lines) to this path")
+	parallel := fs.Int("parallel", 1, "concurrent jobs (1 preserves timing fidelity)")
+	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,8 +244,12 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := graphalytics.NewRunner()
-	results, err := core.RunDescription(r, d)
+	opts := []graphalytics.Option{graphalytics.WithParallelism(*parallel)}
+	if *progress {
+		opts = append(opts, graphalytics.WithObserver(progressObserver(os.Stderr)))
+	}
+	s := graphalytics.NewSession(opts...)
+	results, err := s.RunDescription(ctx, d)
 	if err != nil {
 		return err
 	}
@@ -221,17 +262,17 @@ func cmdBench(args []string) error {
 			res.Spec.Platform, res.Spec.Dataset, res.Spec.Algorithm, res.Status, res.ProcessingTime)
 	}
 	fmt.Printf("%d/%d jobs completed\n", ok, len(results))
-	rep := core.AnalysisReport(r.DB)
+	rep := core.AnalysisReport(s.DB())
 	if err := rep.Render(os.Stdout); err != nil {
 		return err
 	}
 	if *out != "" {
-		if err := r.DB.Save(*out); err != nil {
+		if err := s.DB().Save(*out); err != nil {
 			return err
 		}
-		fmt.Printf("%d results written to %s\n", r.DB.Len(), *out)
+		fmt.Printf("%d results written to %s\n", s.DB().Len(), *out)
 	}
-	return nil
+	return ctx.Err()
 }
 
 // cmdValidate compares two output files (e.g. a platform's output against
@@ -276,50 +317,70 @@ func cmdValidate(args []string) error {
 	return nil
 }
 
-func cmdSuite(args []string) error {
+func cmdSuite(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
 	id := fs.String("id", "all", "experiment id (fig4..fig10, table8..table11, all)")
 	out := fs.String("out", "", "write the results database (JSON lines) to this path")
 	threads := fs.Int("threads", 4, "threads per machine")
 	sla := fs.Duration("sla", time.Minute, "makespan budget per job")
+	parallel := fs.Int("parallel", 1, "concurrent jobs per sweep (1 preserves timing fidelity)")
+	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	r := graphalytics.NewRunner()
-	r.SLA = *sla
+	opts := []graphalytics.Option{
+		graphalytics.WithSLA(*sla),
+		graphalytics.WithParallelism(*parallel),
+	}
+	if *progress {
+		opts = append(opts, graphalytics.WithObserver(progressObserver(os.Stderr)))
+	}
+	s := graphalytics.NewSession(opts...)
 	single := graphalytics.SingleMachinePlatforms()
 	dist := graphalytics.DistributedPlatforms()
 
 	suites := map[string]func() (*core.Report, error){
-		"fig4": func() (*core.Report, error) { return graphalytics.DatasetVariety(r, single, *threads) },
+		"fig4": func() (*core.Report, error) {
+			return s.DatasetVariety(ctx, graphalytics.ExperimentConfig{Platforms: single, Threads: *threads})
+		},
 		"fig5": func() (*core.Report, error) {
-			if _, err := graphalytics.DatasetVariety(r, single, *threads); err != nil {
+			if _, err := s.DatasetVariety(ctx, graphalytics.ExperimentConfig{Platforms: single, Threads: *threads}); err != nil {
 				return nil, err
 			}
-			return graphalytics.ThroughputReport(r.DB, single), nil
+			return s.ThroughputReport(graphalytics.ExperimentConfig{Platforms: single}), nil
 		},
-		"fig6": func() (*core.Report, error) { return graphalytics.AlgorithmVariety(r, single, *threads) },
+		"fig6": func() (*core.Report, error) {
+			return s.AlgorithmVariety(ctx, graphalytics.ExperimentConfig{Platforms: single, Threads: *threads})
+		},
 		"fig7": func() (*core.Report, error) {
-			return graphalytics.VerticalScalability(r, single, []int{1, 2, 4, 8, 16, 32})
+			return s.VerticalScalability(ctx, graphalytics.ExperimentConfig{Platforms: single, ThreadSweep: []int{1, 2, 4, 8, 16, 32}})
 		},
 		"table9": func() (*core.Report, error) {
-			if _, err := graphalytics.VerticalScalability(r, single, []int{1, 2, 4, 8, 16, 32}); err != nil {
+			if _, err := s.VerticalScalability(ctx, graphalytics.ExperimentConfig{Platforms: single, ThreadSweep: []int{1, 2, 4, 8, 16, 32}}); err != nil {
 				return nil, err
 			}
-			return graphalytics.VerticalSpeedupReport(r.DB, single), nil
+			return s.VerticalSpeedupReport(graphalytics.ExperimentConfig{Platforms: single}), nil
 		},
 		"fig8": func() (*core.Report, error) {
-			return graphalytics.StrongScaling(r, dist, []int{1, 2, 4, 8, 16}, 2)
+			return s.StrongScaling(ctx, graphalytics.ExperimentConfig{Platforms: dist, MachineSweep: []int{1, 2, 4, 8, 16}, Threads: 2})
 		},
 		"fig9": func() (*core.Report, error) {
-			return graphalytics.WeakScaling(r, dist, graphalytics.DefaultWeakPairs(), 2)
+			return s.WeakScaling(ctx, graphalytics.ExperimentConfig{Platforms: dist, WeakPairs: graphalytics.DefaultWeakPairs(), Threads: 2})
 		},
-		"table8": func() (*core.Report, error) { return graphalytics.MakespanBreakdown(r, single, *threads) },
+		"table8": func() (*core.Report, error) {
+			return s.MakespanBreakdown(ctx, graphalytics.ExperimentConfig{Platforms: single, Threads: *threads})
+		},
 		"table10": func() (*core.Report, error) {
-			return graphalytics.StressTest(r, append(single, "spmv-d"), *threads, 2<<20)
+			return s.StressTest(ctx, graphalytics.ExperimentConfig{
+				Platforms: append(single, "spmv-d"), Threads: *threads, MemoryBudget: 2 << 20,
+			})
 		},
-		"table11": func() (*core.Report, error) { return graphalytics.Variability(r, single, dist, 10, *threads) },
+		"table11": func() (*core.Report, error) {
+			return s.Variability(ctx, graphalytics.ExperimentConfig{
+				SingleMachine: single, Distributed: dist, Repetitions: 10, Threads: *threads,
+			})
+		},
 		"fig10": func() (*core.Report, error) {
 			return graphalytics.DataGeneration([]float64{3, 10, 30, 100}, []int{1, 2, 4}, 1000)
 		},
@@ -347,10 +408,10 @@ func cmdSuite(args []string) error {
 		return err
 	}
 	if *out != "" {
-		if err := r.DB.Save(*out); err != nil {
+		if err := s.DB().Save(*out); err != nil {
 			return err
 		}
-		fmt.Printf("%d results written to %s\n", r.DB.Len(), *out)
+		fmt.Printf("%d results written to %s\n", s.DB().Len(), *out)
 	}
 	return nil
 }

@@ -1,5 +1,7 @@
 // Quickstart: build a small graph, run BFS and PageRank on one of the
-// engines, and validate the output against the reference implementation.
+// engines, validate the output against the reference implementation, and
+// finally run a fully harnessed benchmark job through the context-first
+// Session API.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -8,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"graphalytics"
 )
@@ -82,6 +85,21 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	// Finally, the harness proper: a Session adds SLA enforcement,
+	// validation against a cached reference, and a results database
+	// around the same engines, driven by a single context.
+	s := graphalytics.NewSession(graphalytics.WithSLA(30 * time.Second))
+	job, err := s.RunJob(context.Background(), graphalytics.JobSpec{
+		Platform: "native", Dataset: "R1", Algorithm: graphalytics.BFS,
+		Threads: 2, Machines: 1,
+	})
+	if err != nil {
+		log.Fatalf("harness job: %v", err)
+	}
+	fmt.Printf("\nharness job on catalog dataset R1: status=%s upload=%v makespan=%v validated=%v\n",
+		job.Status, job.UploadTime, job.Makespan, job.ValidationOK)
+	fmt.Printf("results database now holds %d record(s)\n", s.DB().Len())
 }
 
 // topRanked returns the indices of the k largest values.

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 
 	"graphalytics"
 )
@@ -17,6 +19,10 @@ import (
 const side = 60 // 3600 intersections
 
 func main() {
+	// One interrupt-aware context drives every engine run below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	g, err := buildRoadNetwork()
 	if err != nil {
 		log.Fatalf("build road network: %v", err)
@@ -39,7 +45,7 @@ func main() {
 			fmt.Printf("%-9s %-12s %12s  %s\n", name, graphalytics.PaperName(name), "-", "not supported")
 			continue
 		}
-		res, err := graphalytics.Run(context.Background(), name, g, graphalytics.SSSP, params,
+		res, err := graphalytics.Run(ctx, name, g, graphalytics.SSSP, params,
 			graphalytics.RunConfig{Threads: 4})
 		if err != nil {
 			log.Fatalf("SSSP on %s: %v", name, err)

@@ -2,32 +2,57 @@
 // horizontal (machines) scalability experiments on one dataset and print
 // speedup tables, the way Section 4.3-4.4 of the paper reports them.
 //
+// The example uses the context-first Session API: jobs of each sweep are
+// scheduled on a bounded worker pool, progress streams through an
+// Observer, and Ctrl-C cancels the remaining jobs cleanly.
+//
 // Run with: go run ./examples/scalability
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"graphalytics"
 )
 
 func main() {
-	r := graphalytics.NewRunner()
-	r.SLA = time.Minute
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	progress := graphalytics.ObserverFunc(func(e graphalytics.Event) {
+		if e.Type == graphalytics.EventJobFinished { // Result is always set on this event
+
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s/%s t=%d m=%d: %s\n",
+				e.Index+1, e.Total, e.Spec.Platform, e.Spec.Dataset,
+				e.Spec.Algorithm, e.Spec.Threads, e.Spec.Machines, e.Result.Status)
+		}
+	})
+	s := graphalytics.NewSession(
+		graphalytics.WithSLA(time.Minute),
+		graphalytics.WithParallelism(4),
+		graphalytics.WithObserver(progress),
+	)
 
 	// Vertical: one machine, growing thread count, every platform.
 	fmt.Println("Vertical scalability (BFS + PR on D300, 1 machine):")
-	rep, err := graphalytics.VerticalScalability(r, graphalytics.SingleMachinePlatforms(), []int{1, 2, 4, 8})
+	rep, err := s.VerticalScalability(ctx, graphalytics.ExperimentConfig{
+		Platforms:   graphalytics.SingleMachinePlatforms(),
+		ThreadSweep: []int{1, 2, 4, 8},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := rep.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	speedups := graphalytics.VerticalSpeedupReport(r.DB, graphalytics.SingleMachinePlatforms())
+	speedups := s.VerticalSpeedupReport(graphalytics.ExperimentConfig{
+		Platforms: graphalytics.SingleMachinePlatforms(),
+	})
 	if err := speedups.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +60,11 @@ func main() {
 	// Strong horizontal: constant dataset, growing machine count,
 	// distributed platforms only.
 	fmt.Println("Strong horizontal scalability (BFS + PR on D1000):")
-	strong, err := graphalytics.StrongScaling(r, graphalytics.DistributedPlatforms(), []int{1, 2, 4, 8}, 2)
+	strong, err := s.StrongScaling(ctx, graphalytics.ExperimentConfig{
+		Platforms:    graphalytics.DistributedPlatforms(),
+		MachineSweep: []int{1, 2, 4, 8},
+		Threads:      2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

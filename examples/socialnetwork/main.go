@@ -10,11 +10,17 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"graphalytics"
 )
 
 func main() {
+	// One interrupt-aware context drives every engine run below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	for _, targetCC := range []float64{0.05, 0.3} {
 		res, err := graphalytics.GenerateSocialNetwork(graphalytics.DatagenConfig{
 			ScaleFactor: 30,
@@ -33,7 +39,7 @@ func main() {
 
 		// Measure the average local clustering coefficient with the LCC
 		// algorithm on the matrix engine.
-		lcc, err := graphalytics.Run(context.Background(), "spmv-s", g, graphalytics.LCC, params,
+		lcc, err := graphalytics.Run(ctx, "spmv-s", g, graphalytics.LCC, params,
 			graphalytics.RunConfig{Threads: 4})
 		if err != nil {
 			log.Fatalf("LCC: %v", err)
@@ -45,7 +51,7 @@ func main() {
 		fmt.Printf("  mean LCC: %.3f (Tproc %v)\n", sum/float64(g.NumVertices()), lcc.ProcessingTime)
 
 		// Detect communities with CDLP on the GAS engine.
-		cdlp, err := graphalytics.Run(context.Background(), "gas", g, graphalytics.CDLP, params,
+		cdlp, err := graphalytics.Run(ctx, "gas", g, graphalytics.CDLP, params,
 			graphalytics.RunConfig{Threads: 4})
 		if err != nil {
 			log.Fatalf("CDLP: %v", err)

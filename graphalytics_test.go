@@ -148,6 +148,55 @@ func TestFacadeSaveLoadGraph(t *testing.T) {
 	}
 }
 
+func TestFacadeSessionRunAll(t *testing.T) {
+	var finished int
+	s := graphalytics.NewSession(
+		graphalytics.WithSLA(2*time.Minute),
+		graphalytics.WithParallelism(4),
+		graphalytics.WithObserver(graphalytics.ObserverFunc(func(e graphalytics.Event) {
+			if e.Type == graphalytics.EventJobFinished {
+				finished++ // Observe calls are serialized by the session
+			}
+		})),
+	)
+	specs := []graphalytics.JobSpec{
+		{Platform: "native", Dataset: "R1", Algorithm: graphalytics.BFS, Threads: 2, Machines: 1},
+		{Platform: "spmv-s", Dataset: "R1", Algorithm: graphalytics.PR, Threads: 2, Machines: 1},
+		{Platform: "native", Dataset: "R2", Algorithm: graphalytics.WCC, Threads: 2, Machines: 1},
+	}
+	results, err := s.RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Spec != specs[i] {
+			t.Fatalf("result %d out of order", i)
+		}
+		if res.Status != graphalytics.StatusOK {
+			t.Fatalf("result %d: status %s (%s)", i, res.Status, res.Error)
+		}
+		if !res.Status.Terminal() {
+			t.Fatalf("result %d: non-terminal status", i)
+		}
+	}
+	if finished != len(specs) {
+		t.Fatalf("observer saw %d finished jobs, want %d", finished, len(specs))
+	}
+	if s.DB().Len() != len(specs) {
+		t.Fatalf("results DB has %d records, want %d", s.DB().Len(), len(specs))
+	}
+}
+
+func TestFacadeStatusExports(t *testing.T) {
+	// StatusInvalid and StatusCanceled are part of the facade surface; a
+	// compile-time check plus the Terminal/String helpers.
+	for _, s := range []graphalytics.Status{graphalytics.StatusInvalid, graphalytics.StatusCanceled} {
+		if !s.Terminal() || s.String() == "" {
+			t.Errorf("status %q: Terminal=%v String=%q", s, s.Terminal(), s.String())
+		}
+	}
+}
+
 func TestFacadeRenewal(t *testing.T) {
 	class, err := graphalytics.RenewClassL("native", 4, 2*time.Second)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -113,15 +114,32 @@ func (d *Description) Jobs() ([]JobSpec, error) {
 }
 
 // RunDescription executes the full job matrix of a description through
-// the runner and returns the results in execution order.
+// the session's scheduler and returns one result per job, in matrix
+// order regardless of the session's parallelism.
+func (s *Session) RunDescription(ctx context.Context, d *Description) ([]JobResult, error) {
+	jobs, err := d.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return s.RunAll(ctx, jobs)
+}
+
+// RunDescription executes the full job matrix of a description through
+// the runner sequentially and returns the results run before any
+// harness-level failure, in execution order.
+//
+// Deprecated: use Session.RunDescription, which takes a context,
+// schedules independent jobs concurrently, and returns one result per
+// job.
 func RunDescription(r *Runner, d *Description) ([]JobResult, error) {
 	jobs, err := d.Jobs()
 	if err != nil {
 		return nil, err
 	}
+	s := r.Session()
 	results := make([]JobResult, 0, len(jobs))
 	for _, spec := range jobs {
-		res, err := r.RunJob(spec)
+		res, err := s.RunJob(context.Background(), spec)
 		if err != nil {
 			return results, err
 		}

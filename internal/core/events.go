@@ -1,0 +1,47 @@
+package core
+
+import "time"
+
+// EventType names a progress event emitted by a Session.
+type EventType string
+
+// The event stream: per-job start/finish events, and per-experiment phase
+// markers bracketing the jobs of one paper artifact.
+const (
+	EventJobStarted         EventType = "job-started"
+	EventJobFinished        EventType = "job-finished"
+	EventExperimentStarted  EventType = "experiment-started"
+	EventExperimentFinished EventType = "experiment-finished"
+)
+
+// Event is one progress notification. Job events carry the spec and — on
+// finish — the result; experiment events carry the artifact ID (e.g.
+// "fig4"). Index and Total locate a job inside a RunAll batch; Total is
+// zero for standalone RunJob calls.
+type Event struct {
+	Type EventType
+	Time time.Time
+
+	// Job events.
+	Spec   JobSpec
+	Result *JobResult // always non-nil on EventJobFinished; nil on other event types
+	Err    error      // harness-level error, if the job could not be attempted
+	Index  int        // zero-based position in the batch
+	Total  int        // batch size; zero outside RunAll
+
+	// Experiment events: the report ID of the artifact being generated.
+	Experiment string
+}
+
+// Observer receives the session's event stream. The session serializes
+// calls to Observe, so implementations need no internal locking; they
+// should return quickly, as slow observers backpressure job completion.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe calls f(e).
+func (f ObserverFunc) Observe(e Event) { f(e) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -11,8 +12,42 @@ import (
 )
 
 // This file implements the experiment suites of Table 6. Each experiment
-// runs a job matrix through a Runner and renders the rows of the paper
-// artifact it regenerates. Section numbers refer to the paper.
+// expands its job matrix into specs, schedules them through the session's
+// worker pool, and renders the rows of the paper artifact it regenerates.
+// Section numbers refer to the paper.
+
+// ExperimentConfig parameterizes the experiment suites: which platforms to
+// sweep, the resource axes, and the experiment-specific knobs. Zero values
+// select nothing — every experiment documents the fields it reads.
+type ExperimentConfig struct {
+	// Platforms lists the engines under test for single-axis experiments.
+	Platforms []string
+	// SingleMachine and Distributed split the engines for experiments
+	// that treat the two deployment styles differently (Variability).
+	SingleMachine []string
+	Distributed   []string
+	// Threads is the per-machine thread count for experiments that do not
+	// sweep threads.
+	Threads int
+	// ThreadSweep is the thread axis of the vertical-scalability sweep.
+	ThreadSweep []int
+	// MachineSweep is the machine axis of the strong-scaling sweep.
+	MachineSweep []int
+	// WeakPairs couples machine counts with datasets for weak scaling.
+	WeakPairs []WeakPair
+	// MemoryBudget bounds per-machine engine memory in the stress test.
+	MemoryBudget int64
+	// Repetitions is the per-job repeat count in the variability
+	// experiment; values below 1 select 1.
+	Repetitions int
+}
+
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 // effectivePlatform substitutes the distributed matrix backend for SSSP on
 // the shared-memory one, exactly as the paper does ("SSSP is not supported
@@ -24,34 +59,74 @@ func effectivePlatform(name string, a algorithms.Algorithm) string {
 	return name
 }
 
+// jobMatrix couples each spec of an experiment sweep with the code that
+// consumes its result, so a sweep is declared in a single loop nest: the
+// specs run through the session's scheduler, then the consumers fire in
+// spec order.
+type jobMatrix struct {
+	specs   []JobSpec
+	consume []func(JobResult)
+}
+
+func (m *jobMatrix) add(spec JobSpec, fn func(JobResult)) {
+	m.specs = append(m.specs, spec)
+	m.consume = append(m.consume, fn)
+}
+
+func (m *jobMatrix) run(ctx context.Context, s *Session) error {
+	results, err := s.RunAll(ctx, m.specs)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, fn := range m.consume {
+		fn(results[i])
+	}
+	return nil
+}
+
+// cellAppender returns a consumer appending the result's report cell to
+// the row at index ri of the report.
+func cellAppender(rep *Report, ri int) func(JobResult) {
+	return func(res JobResult) { rep.Rows[ri] = append(rep.Rows[ri], cell(res)) }
+}
+
 // DatasetVariety (Section 4.1, Figure 4): BFS and PageRank on every
-// dataset up to class L, on a single machine, for every platform.
-func DatasetVariety(r *Runner, platforms []string, threads int) (*Report, error) {
+// dataset up to class L, on a single machine, for every platform. Reads
+// Platforms and Threads.
+func (s *Session) DatasetVariety(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
+	ctx = orBackground(ctx)
 	datasets, err := workload.UpToClass(metrics.ClassL)
 	if err != nil {
 		return nil, err
 	}
+	finish := s.experimentSpan("fig4")
+	defer finish()
 	rep := &Report{
 		ID:      "fig4",
 		Title:   "Dataset variety: Tproc for BFS and PR, single machine",
-		Columns: append([]string{"dataset", "class", "algorithm"}, platforms...),
+		Columns: append([]string{"dataset", "class", "algorithm"}, cfg.Platforms...),
 	}
+	var m jobMatrix
 	for _, d := range datasets {
 		g, err := workload.Load(d.ID)
 		if err != nil {
 			return nil, err
 		}
+		class := string(workload.Class(g))
 		for _, a := range []algorithms.Algorithm{algorithms.BFS, algorithms.PR} {
-			row := []string{fmt.Sprintf("%s(%s)", d.ID, workload.Class(g)), string(workload.Class(g)), string(a)}
-			for _, p := range platforms {
-				res, err := r.RunJob(JobSpec{Platform: p, Dataset: d.ID, Algorithm: a, Threads: threads, Machines: 1})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cell(res))
+			rep.Rows = append(rep.Rows, []string{fmt.Sprintf("%s(%s)", d.ID, class), class, string(a)})
+			ri := len(rep.Rows) - 1
+			for _, p := range cfg.Platforms {
+				m.add(JobSpec{Platform: p, Dataset: d.ID, Algorithm: a, Threads: cfg.Threads, Machines: 1},
+					cellAppender(rep, ri))
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
+	}
+	if err := m.run(ctx, s); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -80,55 +155,72 @@ func ThroughputReport(db *ResultsDB, platforms []string) *Report {
 	return rep
 }
 
+// ThroughputReport derives Figure 5 from the session's database.
+func (s *Session) ThroughputReport(cfg ExperimentConfig) *Report {
+	return ThroughputReport(s.cfg.db, cfg.Platforms)
+}
+
 // AlgorithmVariety (Section 4.2, Figure 6): all six algorithms on the two
-// weighted graphs R4(S) and D300(L).
-func AlgorithmVariety(r *Runner, platforms []string, threads int) (*Report, error) {
+// weighted graphs R4(S) and D300(L). Reads Platforms and Threads.
+func (s *Session) AlgorithmVariety(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
+	ctx = orBackground(ctx)
+	finish := s.experimentSpan("fig6")
+	defer finish()
 	rep := &Report{
 		ID:      "fig6",
 		Title:   "Algorithm variety: Tproc for all core algorithms on R4(S) and D300(L)",
-		Columns: append([]string{"dataset", "algorithm"}, platforms...),
+		Columns: append([]string{"dataset", "algorithm"}, cfg.Platforms...),
 	}
+	var m jobMatrix
 	for _, ds := range []string{"R4", "D300"} {
 		for _, a := range algorithms.All {
-			row := []string{ds, string(a)}
-			for _, p := range platforms {
+			rep.Rows = append(rep.Rows, []string{ds, string(a)})
+			ri := len(rep.Rows) - 1
+			for _, p := range cfg.Platforms {
 				eff := effectivePlatform(p, a)
-				res, err := r.RunJob(JobSpec{Platform: eff, Dataset: ds, Algorithm: a, Threads: threads, Machines: 1})
-				if err != nil {
-					return nil, err
-				}
-				c := cell(res)
-				if eff != p && res.Status == StatusOK {
-					c += " (D)"
-				}
-				row = append(row, c)
+				substituted := eff != p
+				m.add(JobSpec{Platform: eff, Dataset: ds, Algorithm: a, Threads: cfg.Threads, Machines: 1},
+					func(res JobResult) {
+						c := cell(res)
+						if substituted && res.Status == StatusOK {
+							c += " (D)"
+						}
+						rep.Rows[ri] = append(rep.Rows[ri], c)
+					})
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
+	}
+	if err := m.run(ctx, s); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
 
 // VerticalScalability (Section 4.3, Figure 7): BFS and PageRank on
-// D300(L) with a growing thread count on one machine.
-func VerticalScalability(r *Runner, platforms []string, threadSweep []int) (*Report, error) {
+// D300(L) with a growing thread count on one machine. Reads Platforms and
+// ThreadSweep.
+func (s *Session) VerticalScalability(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
+	ctx = orBackground(ctx)
+	finish := s.experimentSpan("fig7")
+	defer finish()
 	rep := &Report{
 		ID:      "fig7",
 		Title:   "Vertical scalability: Tproc vs. threads, BFS and PR on D300(L)",
-		Columns: append([]string{"algorithm", "threads"}, platforms...),
+		Columns: append([]string{"algorithm", "threads"}, cfg.Platforms...),
 	}
+	var m jobMatrix
 	for _, a := range []algorithms.Algorithm{algorithms.BFS, algorithms.PR} {
-		for _, t := range threadSweep {
-			row := []string{string(a), fmt.Sprint(t)}
-			for _, p := range platforms {
-				res, err := r.RunJob(JobSpec{Platform: p, Dataset: "D300", Algorithm: a, Threads: t, Machines: 1})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cell(res))
+		for _, t := range cfg.ThreadSweep {
+			rep.Rows = append(rep.Rows, []string{string(a), fmt.Sprint(t)})
+			ri := len(rep.Rows) - 1
+			for _, p := range cfg.Platforms {
+				m.add(JobSpec{Platform: p, Dataset: "D300", Algorithm: a, Threads: t, Machines: 1},
+					cellAppender(rep, ri))
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
+	}
+	if err := m.run(ctx, s); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -165,26 +257,36 @@ func VerticalSpeedupReport(db *ResultsDB, platforms []string) *Report {
 	return rep
 }
 
+// VerticalSpeedupReport derives Table 9 from the session's database.
+func (s *Session) VerticalSpeedupReport(cfg ExperimentConfig) *Report {
+	return VerticalSpeedupReport(s.cfg.db, cfg.Platforms)
+}
+
 // StrongScaling (Section 4.4, Figure 8): BFS and PageRank on D1000(XL)
-// while doubling the machine count, dataset constant.
-func StrongScaling(r *Runner, platforms []string, machineSweep []int, threads int) (*Report, error) {
+// while doubling the machine count, dataset constant. Reads Platforms,
+// MachineSweep and Threads.
+func (s *Session) StrongScaling(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
+	ctx = orBackground(ctx)
+	finish := s.experimentSpan("fig8")
+	defer finish()
 	rep := &Report{
 		ID:      "fig8",
 		Title:   "Strong horizontal scalability: Tproc vs. machines, BFS and PR on D1000(XL)",
-		Columns: append([]string{"algorithm", "machines"}, platforms...),
+		Columns: append([]string{"algorithm", "machines"}, cfg.Platforms...),
 	}
+	var m jobMatrix
 	for _, a := range []algorithms.Algorithm{algorithms.BFS, algorithms.PR} {
-		for _, m := range machineSweep {
-			row := []string{string(a), fmt.Sprint(m)}
-			for _, p := range platforms {
-				res, err := r.RunJob(JobSpec{Platform: p, Dataset: "D1000", Algorithm: a, Threads: threads, Machines: m})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cell(res))
+		for _, mach := range cfg.MachineSweep {
+			rep.Rows = append(rep.Rows, []string{string(a), fmt.Sprint(mach)})
+			ri := len(rep.Rows) - 1
+			for _, p := range cfg.Platforms {
+				m.add(JobSpec{Platform: p, Dataset: "D1000", Algorithm: a, Threads: cfg.Threads, Machines: mach},
+					cellAppender(rep, ri))
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
+	}
+	if err := m.run(ctx, s); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -204,25 +306,30 @@ func DefaultWeakPairs() []WeakPair {
 }
 
 // WeakScaling (Section 4.5, Figure 9): BFS and PageRank on the Graph500
-// series, doubling dataset size and machine count together.
-func WeakScaling(r *Runner, platforms []string, pairs []WeakPair, threads int) (*Report, error) {
+// series, doubling dataset size and machine count together. Reads
+// Platforms, WeakPairs and Threads.
+func (s *Session) WeakScaling(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
+	ctx = orBackground(ctx)
+	finish := s.experimentSpan("fig9")
+	defer finish()
 	rep := &Report{
 		ID:      "fig9",
 		Title:   "Weak horizontal scalability: Tproc vs. machines, BFS and PR on G22..G26",
-		Columns: append([]string{"algorithm", "machines", "dataset"}, platforms...),
+		Columns: append([]string{"algorithm", "machines", "dataset"}, cfg.Platforms...),
 	}
+	var m jobMatrix
 	for _, a := range []algorithms.Algorithm{algorithms.BFS, algorithms.PR} {
-		for _, pr := range pairs {
-			row := []string{string(a), fmt.Sprint(pr.Machines), pr.Dataset}
-			for _, p := range platforms {
-				res, err := r.RunJob(JobSpec{Platform: p, Dataset: pr.Dataset, Algorithm: a, Threads: threads, Machines: pr.Machines})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cell(res))
+		for _, pr := range cfg.WeakPairs {
+			rep.Rows = append(rep.Rows, []string{string(a), fmt.Sprint(pr.Machines), pr.Dataset})
+			ri := len(rep.Rows) - 1
+			for _, p := range cfg.Platforms {
+				m.add(JobSpec{Platform: p, Dataset: pr.Dataset, Algorithm: a, Threads: cfg.Threads, Machines: pr.Machines},
+					cellAppender(rep, ri))
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
+	}
+	if err := m.run(ctx, s); err != nil {
+		return nil, err
 	}
 	rep.Notes = append(rep.Notes, "per-machine work is constant; ideal weak scaling keeps Tproc flat")
 	return rep, nil
@@ -230,8 +337,11 @@ func WeakScaling(r *Runner, platforms []string, pairs []WeakPair, threads int) (
 
 // StressTest (Section 4.6, Table 10): BFS on every dataset under a
 // per-machine memory budget; reports the smallest dataset each platform
-// fails to process on a single machine.
-func StressTest(r *Runner, platforms []string, threads int, memoryBudget int64) (*Report, error) {
+// fails to process on a single machine. Probing is sequential per
+// platform — it stops at the first failure, so there is no independent
+// matrix to schedule. Reads Platforms, Threads and MemoryBudget.
+func (s *Session) StressTest(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
+	ctx = orBackground(ctx)
 	type scored struct {
 		d     workload.Dataset
 		scale float64
@@ -246,22 +356,27 @@ func StressTest(r *Runner, platforms []string, threads int, memoryBudget int64) 
 	}
 	sort.Slice(datasets, func(i, j int) bool { return datasets[i].scale < datasets[j].scale })
 
+	finish := s.experimentSpan("table10")
+	defer finish()
 	rep := &Report{
 		ID:      "table10",
-		Title:   fmt.Sprintf("Stress test: smallest dataset failing BFS on one machine (budget %d MiB)", memoryBudget>>20),
+		Title:   fmt.Sprintf("Stress test: smallest dataset failing BFS on one machine (budget %d MiB)", cfg.MemoryBudget>>20),
 		Columns: []string{"platform", "smallest failing dataset", "scale", "class"},
 	}
-	for _, p := range platforms {
+	for _, p := range cfg.Platforms {
 		failing := "-"
 		scale := "-"
 		class := "-"
 		for _, ds := range datasets {
-			res, err := r.RunJob(JobSpec{
+			res, err := s.RunJob(ctx, JobSpec{
 				Platform: p, Dataset: ds.d.ID, Algorithm: algorithms.BFS,
-				Threads: threads, Machines: 1, MemoryPerMachine: memoryBudget,
+				Threads: cfg.Threads, Machines: 1, MemoryPerMachine: cfg.MemoryBudget,
 			})
 			if err != nil {
 				return nil, err
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
 			}
 			if !res.Completed() {
 				g, _ := workload.Load(ds.d.ID)
@@ -280,17 +395,26 @@ func StressTest(r *Runner, platforms []string, threads int, memoryBudget int64) 
 // Variability (Section 4.7, Table 11): BFS repeated n times on D300 with
 // one machine for every platform, and on D1000 with 16 machines for the
 // distributed platforms; reports mean Tproc and its coefficient of
-// variation.
-func Variability(r *Runner, singleMachine, distributed []string, n, threads int) (*Report, error) {
+// variation. Repetitions run sequentially to keep the measured timing
+// distribution undisturbed. Reads SingleMachine, Distributed, Repetitions
+// and Threads.
+func (s *Session) Variability(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
+	ctx = orBackground(ctx)
+	n := cfg.Repetitions
+	if n < 1 {
+		n = 1
+	}
+	finish := s.experimentSpan("table11")
+	defer finish()
 	rep := &Report{
 		ID:      "table11",
 		Title:   fmt.Sprintf("Variability: mean Tproc and CV over %d runs of BFS", n),
 		Columns: []string{"platform", "config", "mean", "CV"},
 	}
 	add := func(p string, machines int, dataset, label string) error {
-		results, err := r.RunRepeated(JobSpec{
+		results, err := s.RunRepeated(ctx, JobSpec{
 			Platform: p, Dataset: dataset, Algorithm: algorithms.BFS,
-			Threads: threads, Machines: machines,
+			Threads: cfg.Threads, Machines: machines,
 		}, n)
 		if err != nil {
 			return err
@@ -312,50 +436,124 @@ func Variability(r *Runner, singleMachine, distributed []string, n, threads int)
 		})
 		return nil
 	}
-	for _, p := range singleMachine {
+	for _, p := range cfg.SingleMachine {
 		if err := add(p, 1, "D300", "S (1 machine, D300)"); err != nil {
 			return nil, err
 		}
 	}
-	for _, p := range distributed {
+	for _, p := range cfg.Distributed {
 		if err := add(p, 16, "D1000", "D (16 machines, D1000)"); err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
 
 // MakespanBreakdown (Section 4.1, Table 8): makespan versus processing
-// time for BFS on D300(L), exposing per-platform overhead.
-func MakespanBreakdown(r *Runner, platforms []string, threads int) (*Report, error) {
+// time for BFS on D300(L), exposing per-platform overhead. Reads
+// Platforms and Threads.
+func (s *Session) MakespanBreakdown(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
+	ctx = orBackground(ctx)
+	finish := s.experimentSpan("table8")
+	defer finish()
 	rep := &Report{
 		ID:      "table8",
 		Title:   "Tproc and makespan for BFS on D300(L)",
 		Columns: []string{"platform", "upload", "execute", "job makespan", "Tproc", "Tproc/makespan"},
 	}
-	for _, p := range platforms {
-		res, err := r.RunJob(JobSpec{Platform: p, Dataset: "D300", Algorithm: algorithms.BFS, Threads: threads, Machines: 1})
-		if err != nil {
-			return nil, err
-		}
-		if !res.Completed() {
-			rep.Rows = append(rep.Rows, []string{p, cell(res), "-", "-", "-", "-"})
-			continue
-		}
-		// The paper's makespan covers the whole job, including the
-		// platform-specific conversion this harness performs at upload.
-		job := res.UploadTime + res.Makespan
-		ratio := float64(res.ProcessingTime) / float64(job) * 100
-		rep.Rows = append(rep.Rows, []string{
-			p,
-			fmtDuration(res.UploadTime),
-			fmtDuration(res.Makespan),
-			fmtDuration(job),
-			fmtDuration(res.ProcessingTime),
-			fmt.Sprintf("%.1f%%", ratio),
-		})
+	var m jobMatrix
+	for _, p := range cfg.Platforms {
+		m.add(JobSpec{Platform: p, Dataset: "D300", Algorithm: algorithms.BFS, Threads: cfg.Threads, Machines: 1},
+			func(res JobResult) {
+				if !res.Completed() {
+					rep.Rows = append(rep.Rows, []string{p, cell(res), "-", "-", "-", "-"})
+					return
+				}
+				// The paper's makespan covers the whole job, including the
+				// platform-specific conversion this harness performs at upload.
+				job := res.UploadTime + res.Makespan
+				ratio := float64(res.ProcessingTime) / float64(job) * 100
+				rep.Rows = append(rep.Rows, []string{
+					p,
+					fmtDuration(res.UploadTime),
+					fmtDuration(res.Makespan),
+					fmtDuration(job),
+					fmtDuration(res.ProcessingTime),
+					fmt.Sprintf("%.1f%%", ratio),
+				})
+			})
+	}
+	if err := m.run(ctx, s); err != nil {
+		return nil, err
 	}
 	rep.Notes = append(rep.Notes,
 		"overhead (makespan - Tproc) covers engine setup, graph loading and output offload; the paper reports 66-99.8% overhead for JVM/cluster platforms")
 	return rep, nil
+}
+
+// ---- Deprecated positional experiment entry points ----
+//
+// These shims keep the pre-Session API compiling for one release. Each
+// delegates to the context-first Session method with a sequential session
+// derived from the runner.
+
+// DatasetVariety runs Figure 4.
+//
+// Deprecated: use Session.DatasetVariety.
+func DatasetVariety(r *Runner, platforms []string, threads int) (*Report, error) {
+	return r.Session().DatasetVariety(context.Background(), ExperimentConfig{Platforms: platforms, Threads: threads})
+}
+
+// AlgorithmVariety runs Figure 6.
+//
+// Deprecated: use Session.AlgorithmVariety.
+func AlgorithmVariety(r *Runner, platforms []string, threads int) (*Report, error) {
+	return r.Session().AlgorithmVariety(context.Background(), ExperimentConfig{Platforms: platforms, Threads: threads})
+}
+
+// VerticalScalability runs Figure 7.
+//
+// Deprecated: use Session.VerticalScalability.
+func VerticalScalability(r *Runner, platforms []string, threadSweep []int) (*Report, error) {
+	return r.Session().VerticalScalability(context.Background(), ExperimentConfig{Platforms: platforms, ThreadSweep: threadSweep})
+}
+
+// StrongScaling runs Figure 8.
+//
+// Deprecated: use Session.StrongScaling.
+func StrongScaling(r *Runner, platforms []string, machineSweep []int, threads int) (*Report, error) {
+	return r.Session().StrongScaling(context.Background(), ExperimentConfig{Platforms: platforms, MachineSweep: machineSweep, Threads: threads})
+}
+
+// WeakScaling runs Figure 9.
+//
+// Deprecated: use Session.WeakScaling.
+func WeakScaling(r *Runner, platforms []string, pairs []WeakPair, threads int) (*Report, error) {
+	return r.Session().WeakScaling(context.Background(), ExperimentConfig{Platforms: platforms, WeakPairs: pairs, Threads: threads})
+}
+
+// StressTest runs Table 10.
+//
+// Deprecated: use Session.StressTest.
+func StressTest(r *Runner, platforms []string, threads int, memoryBudget int64) (*Report, error) {
+	return r.Session().StressTest(context.Background(), ExperimentConfig{Platforms: platforms, Threads: threads, MemoryBudget: memoryBudget})
+}
+
+// Variability runs Table 11.
+//
+// Deprecated: use Session.Variability.
+func Variability(r *Runner, singleMachine, distributed []string, n, threads int) (*Report, error) {
+	return r.Session().Variability(context.Background(), ExperimentConfig{
+		SingleMachine: singleMachine, Distributed: distributed, Repetitions: n, Threads: threads,
+	})
+}
+
+// MakespanBreakdown runs Table 8.
+//
+// Deprecated: use Session.MakespanBreakdown.
+func MakespanBreakdown(r *Runner, platforms []string, threads int) (*Report, error) {
+	return r.Session().MakespanBreakdown(context.Background(), ExperimentConfig{Platforms: platforms, Threads: threads})
 }

@@ -1,97 +1,21 @@
-// Package core implements the Graphalytics harness (components 1-12 of the
-// architecture in Figure 1): it processes the benchmark description and
-// configuration, orchestrates jobs against platform drivers (upload,
-// execute, validate, archive), enforces the service-level agreement,
-// stores results in a results database, and runs the experiment suites of
-// Table 6 — baseline, scalability, robustness and self-test — rendering a
-// report per paper figure or table.
 package core
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"sync"
 	"time"
 
-	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
-	"graphalytics/internal/metrics"
-	"graphalytics/internal/platform"
-	"graphalytics/internal/validation"
-	"graphalytics/internal/workload"
 )
 
-// DefaultSLA is the benchmark's service-level agreement: a job must
-// generate its output with a makespan of at most one hour (Section 2.3).
-// Reproduction experiments usually override this with seconds-scale SLAs
-// to match their 10^4-times smaller datasets.
-const DefaultSLA = time.Hour
-
-// Status classifies the outcome of a job.
-type Status string
-
-// Job outcomes. A job "does not complete successfully" when it breaks the
-// SLA or crashes (for instance with insufficient memory).
-const (
-	StatusOK          Status = "ok"
-	StatusSLABreak    Status = "sla-break"
-	StatusOOM         Status = "oom"
-	StatusFailed      Status = "failed"
-	StatusUnsupported Status = "unsupported"
-	StatusInvalid     Status = "invalid-output"
-)
-
-// JobSpec is one benchmark job from the description: an algorithm, a
-// dataset, a platform, and the resources of the system under test.
-type JobSpec struct {
-	Platform  string               `json:"platform"`
-	Dataset   string               `json:"dataset"`
-	Algorithm algorithms.Algorithm `json:"algorithm"`
-	Threads   int                  `json:"threads"`
-	Machines  int                  `json:"machines"`
-	// MemoryPerMachine bounds engine memory per machine (bytes); zero
-	// means unlimited. The stress test sweeps this.
-	MemoryPerMachine int64 `json:"memory_per_machine,omitempty"`
-	// SLA overrides the runner's SLA for this job when non-zero.
-	SLA time.Duration `json:"sla,omitempty"`
-}
-
-// JobResult is one results-database record.
-type JobResult struct {
-	Spec      JobSpec   `json:"spec"`
-	Status    Status    `json:"status"`
-	Error     string    `json:"error,omitempty"`
-	Timestamp time.Time `json:"timestamp"`
-
-	// Scale and Class describe the dataset actually run.
-	Scale float64       `json:"scale"`
-	Class metrics.Class `json:"class"`
-
-	// The benchmark's run-time breakdown (Section 2.3): upload time,
-	// makespan, and processing time as reported by Granula.
-	UploadTime     time.Duration `json:"upload_time"`
-	Makespan       time.Duration `json:"makespan"`
-	ProcessingTime time.Duration `json:"processing_time"`
-	NetworkTime    time.Duration `json:"network_time"`
-
-	// Throughput metrics.
-	EPS  float64 `json:"eps"`
-	EVPS float64 `json:"evps"`
-
-	Rounds     int   `json:"rounds"`
-	PeakMemory int64 `json:"peak_memory"`
-
-	// Validated reports whether the output was checked against the
-	// reference implementation, and ValidationOK its outcome.
-	Validated    bool `json:"validated"`
-	ValidationOK bool `json:"validation_ok"`
-}
-
-// Completed reports whether the job met the SLA and produced valid output.
-func (r JobResult) Completed() bool { return r.Status == StatusOK }
-
-// Runner executes benchmark jobs. It is safe for concurrent use.
+// Runner is the harness's legacy entry point, kept for one release as a
+// thin shim over Session. Its mutable fields are read each time a method
+// runs, so existing code that tweaks SLA or Validate after NewRunner keeps
+// working.
+//
+// Deprecated: use NewSession with functional options (WithSLA,
+// WithValidation, WithNetwork, WithResultsDB, WithParallelism,
+// WithObserver) and the context-first Session methods.
 type Runner struct {
 	// SLA is the makespan budget; zero selects DefaultSLA.
 	SLA time.Duration
@@ -103,12 +27,14 @@ type Runner struct {
 	// DB receives every result when non-nil.
 	DB *ResultsDB
 
-	refMu sync.Mutex
-	refs  map[string]*algorithms.Output
+	refOnce sync.Once
+	refs    *refCache
 }
 
 // NewRunner returns a validating runner with the default network model
 // and a fresh in-memory results database.
+//
+// Deprecated: use NewSession.
 func NewRunner() *Runner {
 	return &Runner{
 		Validate: true,
@@ -117,152 +43,35 @@ func NewRunner() *Runner {
 	}
 }
 
-// reference returns the (cached) reference output for a dataset/algorithm
-// pair.
-func (r *Runner) reference(d workload.Dataset, a algorithms.Algorithm) (*algorithms.Output, error) {
-	key := d.ID + "/" + string(a)
-	r.refMu.Lock()
-	defer r.refMu.Unlock()
-	if r.refs == nil {
-		r.refs = make(map[string]*algorithms.Output)
+// Session materializes the runner's current settings as a Session sharing
+// the runner's reference cache and results database. It is the migration
+// path from Runner code to the context-first API; the returned session
+// defaults to sequential execution, matching the runner's behavior.
+func (r *Runner) Session(opts ...Option) *Session {
+	r.refOnce.Do(func() { r.refs = newRefCache() })
+	cfg := config{
+		sla:         r.SLA,
+		validate:    r.Validate,
+		net:         r.Net,
+		db:          r.DB,
+		parallelism: 1,
 	}
-	if out, ok := r.refs[key]; ok {
-		return out, nil
+	for _, o := range opts {
+		o(&cfg)
 	}
-	g, err := workload.Load(d.ID)
-	if err != nil {
-		return nil, err
-	}
-	out, err := algorithms.RunReference(g, a, d.Params)
-	if err != nil {
-		return nil, err
-	}
-	r.refs[key] = out
-	return out, nil
+	return &Session{cfg: cfg, refs: r.refs, emitMu: new(sync.Mutex)}
 }
 
-// classify maps an execution error to a job status.
-func classify(err error) (Status, string) {
-	switch {
-	case errors.Is(err, cluster.ErrOutOfMemory):
-		return StatusOOM, err.Error()
-	case errors.Is(err, context.DeadlineExceeded):
-		return StatusSLABreak, err.Error()
-	case errors.Is(err, platform.ErrUnsupported), errors.Is(err, platform.ErrNotDistributed):
-		return StatusUnsupported, err.Error()
-	default:
-		return StatusFailed, err.Error()
-	}
-}
-
-// RunJob executes one job end to end. Failures are encoded in the result
-// status rather than returned, so experiment sweeps keep going; the error
-// return is reserved for harness-level problems (unknown platform or
-// dataset).
+// RunJob executes one job end to end.
+//
+// Deprecated: use Session.RunJob, which takes a context.
 func (r *Runner) RunJob(spec JobSpec) (JobResult, error) {
-	res := JobResult{Spec: spec, Timestamp: time.Now()}
-	p, err := platform.Get(spec.Platform)
-	if err != nil {
-		return res, err
-	}
-	d, err := workload.ByID(spec.Dataset)
-	if err != nil {
-		return res, err
-	}
-	g, err := workload.Load(spec.Dataset)
-	if err != nil {
-		return res, err
-	}
-	res.Scale = workload.Scale(g)
-	res.Class = workload.Class(g)
-
-	record := func() JobResult {
-		if r.DB != nil {
-			r.DB.Add(res)
-		}
-		return res
-	}
-
-	if !p.Supports(spec.Algorithm) || (spec.Algorithm == algorithms.SSSP && !g.Weighted()) {
-		res.Status = StatusUnsupported
-		return record(), nil
-	}
-
-	cfg := platform.RunConfig{
-		Threads:          spec.Threads,
-		Machines:         spec.Machines,
-		MemoryPerMachine: spec.MemoryPerMachine,
-		Net:              r.Net,
-	}
-	upStart := time.Now()
-	up, err := p.Upload(g, cfg)
-	res.UploadTime = time.Since(upStart)
-	if err != nil {
-		res.Status, res.Error = classify(err)
-		return record(), nil
-	}
-	defer up.Free()
-
-	sla := spec.SLA
-	if sla == 0 {
-		sla = r.SLA
-	}
-	if sla == 0 {
-		sla = DefaultSLA
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), sla)
-	defer cancel()
-
-	execStart := time.Now()
-	out, err := p.Execute(ctx, up, spec.Algorithm, d.Params)
-	res.Makespan = time.Since(execStart)
-	if err != nil {
-		res.Status, res.Error = classify(err)
-		return record(), nil
-	}
-	if res.Makespan > sla {
-		// The job finished but blew the makespan budget: an SLA break.
-		res.Status = StatusSLABreak
-		res.Error = fmt.Sprintf("makespan %v exceeds SLA %v", res.Makespan, sla)
-		return record(), nil
-	}
-
-	res.ProcessingTime = out.ProcessingTime
-	res.NetworkTime = out.NetworkTime
-	res.Rounds = out.Rounds
-	res.PeakMemory = out.PeakMemory
-	res.EPS = metrics.EPS(g.NumEdges(), out.ProcessingTime)
-	res.EVPS = metrics.EVPS(g.NumVertices(), g.NumEdges(), out.ProcessingTime)
-
-	if r.Validate {
-		want, err := r.reference(d, spec.Algorithm)
-		if err != nil {
-			res.Status = StatusFailed
-			res.Error = fmt.Sprintf("reference: %v", err)
-			return record(), nil
-		}
-		res.Validated = true
-		rep := validation.Validate(out.Output, want, g.IDs())
-		res.ValidationOK = rep.OK
-		if !rep.OK {
-			res.Status = StatusInvalid
-			res.Error = rep.FirstDiff
-			return record(), nil
-		}
-	}
-	res.Status = StatusOK
-	return record(), nil
+	return r.Session().RunJob(context.Background(), spec)
 }
 
 // RunRepeated executes the same job n times (the variability experiment).
+//
+// Deprecated: use Session.RunRepeated, which takes a context.
 func (r *Runner) RunRepeated(spec JobSpec, n int) ([]JobResult, error) {
-	out := make([]JobResult, 0, n)
-	for i := 0; i < n; i++ {
-		res, err := r.RunJob(spec)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return r.Session().RunRepeated(context.Background(), spec, n)
 }

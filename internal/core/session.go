@@ -1,0 +1,399 @@
+// Package core implements the Graphalytics harness (components 1-12 of the
+// architecture in Figure 1): it processes the benchmark description and
+// configuration, orchestrates jobs against platform drivers (upload,
+// execute, validate, archive), enforces the service-level agreement,
+// stores results in a results database, and runs the experiment suites of
+// Table 6 — baseline, scalability, robustness and self-test — rendering a
+// report per paper figure or table.
+//
+// The public entry point is the Session: a context-first, concurrency-safe
+// orchestrator constructed with functional options. Sessions run single
+// jobs (RunJob), repetitions (RunRepeated) and whole job matrices on a
+// bounded worker pool (RunAll), and stream progress through an Observer.
+// The legacy Runner in runner.go remains as a deprecated shim.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/cluster"
+	"graphalytics/internal/metrics"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/validation"
+	"graphalytics/internal/workload"
+)
+
+// config holds a session's resolved settings; it is immutable after
+// NewSession, which is what makes Session safe for concurrent use.
+type config struct {
+	sla         time.Duration
+	validate    bool
+	net         cluster.NetworkModel
+	db          *ResultsDB
+	parallelism int
+	observer    Observer
+}
+
+// Option configures a Session (and, per call, a RunAll batch).
+type Option func(*config)
+
+// WithSLA sets the default makespan budget per job (upload plus execute);
+// zero selects DefaultSLA. A JobSpec's own SLA still takes precedence.
+func WithSLA(d time.Duration) Option { return func(c *config) { c.sla = d } }
+
+// WithValidation toggles output validation against the reference
+// implementation. Sessions validate by default.
+func WithValidation(on bool) Option { return func(c *config) { c.validate = on } }
+
+// WithNetwork sets the interconnect model for distributed jobs.
+func WithNetwork(net cluster.NetworkModel) Option { return func(c *config) { c.net = net } }
+
+// WithResultsDB directs results into db instead of a fresh database.
+func WithResultsDB(db *ResultsDB) Option { return func(c *config) { c.db = db } }
+
+// WithParallelism bounds the worker pool RunAll schedules jobs on; n < 1
+// selects GOMAXPROCS. Parallelism 1 reproduces strictly sequential
+// execution (the right choice when timing fidelity matters more than
+// sweep throughput).
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithObserver streams progress events (job started/finished, experiment
+// phases) to o. The session serializes Observe calls.
+func WithObserver(o Observer) Option { return func(c *config) { c.observer = o } }
+
+// Session orchestrates benchmark jobs: SLA enforcement, validation
+// against single-flighted reference outputs, a results database, and a
+// bounded-parallelism scheduler. It is safe for concurrent use.
+type Session struct {
+	cfg    config
+	refs   *refCache
+	emitMu *sync.Mutex
+}
+
+// NewSession returns a session with the default configuration — output
+// validation on, the default network model, a fresh results database, and
+// GOMAXPROCS scheduler parallelism — overridden by the given options.
+func NewSession(opts ...Option) *Session {
+	cfg := config{
+		validate:    true,
+		net:         cluster.DefaultNetwork(),
+		db:          NewResultsDB(),
+		parallelism: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Session{cfg: cfg, refs: newRefCache(), emitMu: new(sync.Mutex)}
+}
+
+// DB returns the session's results database.
+func (s *Session) DB() *ResultsDB { return s.cfg.db }
+
+// emit delivers an event to the observer, serialized and timestamped.
+func (s *Session) emit(e Event) {
+	if s.cfg.observer == nil {
+		return
+	}
+	e.Time = time.Now()
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.cfg.observer.Observe(e)
+}
+
+// experimentSpan emits the started event for one paper artifact and
+// returns the matching finished emitter for deferral.
+func (s *Session) experimentSpan(id string) func() {
+	s.emit(Event{Type: EventExperimentStarted, Experiment: id})
+	return func() { s.emit(Event{Type: EventExperimentFinished, Experiment: id}) }
+}
+
+// refCache single-flights reference-output computation: concurrent jobs
+// on the same dataset/algorithm pair block on one computation instead of
+// each recomputing the reference.
+type refCache struct {
+	mu       sync.Mutex
+	entries  map[string]*refEntry
+	computes atomic.Int64 // number of reference computations actually run
+}
+
+type refEntry struct {
+	once sync.Once
+	out  *algorithms.Output
+	err  error
+}
+
+func newRefCache() *refCache {
+	return &refCache{entries: make(map[string]*refEntry)}
+}
+
+// get returns the reference output for a dataset/algorithm pair, computing
+// it at most once per cache regardless of concurrency. The context only
+// gates starting a new computation: an existing entry is cached or in
+// flight and is always used, so a job that finished execution does not
+// lose its validation to a late cancellation, and a computation in flight
+// is never abandoned since other jobs may be waiting on it.
+func (c *refCache) get(ctx context.Context, d workload.Dataset, a algorithms.Algorithm) (*algorithms.Output, error) {
+	key := d.ID + "/" + string(a)
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		e = &refEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.computes.Add(1)
+		g, err := workload.Load(d.ID)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.out, e.err = algorithms.RunReference(g, a, d.Params)
+	})
+	return e.out, e.err
+}
+
+// batchPos locates a job inside a RunAll batch for event reporting.
+type batchPos struct{ index, total int }
+
+// RunJob executes one job end to end. Failures — including cancellation of
+// ctx — are encoded in the result status rather than returned, so
+// experiment sweeps keep going; the error return is reserved for
+// harness-level problems (unknown platform or dataset).
+func (s *Session) RunJob(ctx context.Context, spec JobSpec) (JobResult, error) {
+	res, err := s.execute(ctx, spec, batchPos{})
+	s.record(res)
+	return res, err
+}
+
+// record appends a finished job to the results database. Jobs that hit a
+// harness-level error before running carry no status and are not recorded.
+func (s *Session) record(res JobResult) {
+	if res.Status != "" && s.cfg.db != nil {
+		s.cfg.db.Add(res)
+	}
+}
+
+// execute runs one job without recording it, emitting the job's start and
+// finish events.
+func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos) (res JobResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.emit(Event{Type: EventJobStarted, Spec: spec, Index: pos.index, Total: pos.total})
+	defer func() {
+		r := res
+		s.emit(Event{Type: EventJobFinished, Spec: spec, Result: &r, Err: err, Index: pos.index, Total: pos.total})
+	}()
+
+	res = JobResult{Spec: spec, Timestamp: time.Now()}
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller's context ended before this job started. Whether it
+		// was canceled or its deadline expired, the batch stopped — this
+		// is not an SLA break of the job.
+		res.Status, res.Error = StatusCanceled, cerr.Error()
+		return res, nil
+	}
+	p, err := platform.Get(spec.Platform)
+	if err != nil {
+		return res, err
+	}
+	d, err := workload.ByID(spec.Dataset)
+	if err != nil {
+		return res, err
+	}
+	g, err := workload.Load(spec.Dataset)
+	if err != nil {
+		return res, err
+	}
+	res.Scale = workload.Scale(g)
+	res.Class = workload.Class(g)
+
+	if !p.Supports(spec.Algorithm) || (spec.Algorithm == algorithms.SSSP && !g.Weighted()) {
+		res.Status = StatusUnsupported
+		return res, nil
+	}
+
+	sla := spec.SLA
+	if sla == 0 {
+		sla = s.cfg.sla
+	}
+	if sla == 0 {
+		sla = DefaultSLA
+	}
+	// The SLA window opens before upload: the benchmark's makespan budget
+	// covers the whole job, so a pathological upload breaks the SLA too.
+	jctx, cancel := context.WithTimeout(ctx, sla)
+	defer cancel()
+
+	cfg := platform.RunConfig{
+		Threads:          spec.Threads,
+		Machines:         spec.Machines,
+		MemoryPerMachine: spec.MemoryPerMachine,
+		Net:              s.cfg.net,
+	}
+	upStart := time.Now()
+	up, err := p.Upload(g, cfg)
+	res.UploadTime = time.Since(upStart)
+	if err != nil {
+		res.Status, res.Error = classify(err)
+		return res, nil
+	}
+	defer up.Free()
+	if cerr := jctx.Err(); cerr != nil {
+		if ctx.Err() != nil {
+			// The caller's context ended, not the job's SLA timer.
+			res.Status, res.Error = StatusCanceled, ctx.Err().Error()
+		} else {
+			res.Status = StatusSLABreak
+			res.Error = fmt.Sprintf("upload time %v exceeds SLA %v", res.UploadTime, sla)
+		}
+		return res, nil
+	}
+
+	execStart := time.Now()
+	out, err := p.Execute(jctx, up, spec.Algorithm, d.Params)
+	res.Makespan = time.Since(execStart)
+	if err != nil {
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The context error came from the caller, not the SLA timer.
+			res.Status, res.Error = StatusCanceled, err.Error()
+		} else {
+			res.Status, res.Error = classify(err)
+		}
+		return res, nil
+	}
+	if job := res.UploadTime + res.Makespan; job > sla {
+		// The job finished but blew the makespan budget: an SLA break.
+		res.Status = StatusSLABreak
+		res.Error = fmt.Sprintf("upload %v + makespan %v exceeds SLA %v", res.UploadTime, res.Makespan, sla)
+		return res, nil
+	}
+
+	res.ProcessingTime = out.ProcessingTime
+	res.NetworkTime = out.NetworkTime
+	res.Rounds = out.Rounds
+	res.PeakMemory = out.PeakMemory
+	res.EPS = metrics.EPS(g.NumEdges(), out.ProcessingTime)
+	res.EVPS = metrics.EVPS(g.NumVertices(), g.NumEdges(), out.ProcessingTime)
+
+	if s.cfg.validate {
+		// Validation is harness work outside the SLA window, so it runs
+		// under the caller's context, not the job deadline.
+		want, rerr := s.refs.get(ctx, d, spec.Algorithm)
+		if rerr != nil {
+			if ctx.Err() != nil {
+				res.Status, res.Error = StatusCanceled, rerr.Error()
+			} else {
+				res.Status = StatusFailed
+				res.Error = fmt.Sprintf("reference: %v", rerr)
+			}
+			return res, nil
+		}
+		res.Validated = true
+		rep := validation.Validate(out.Output, want, g.IDs())
+		res.ValidationOK = rep.OK
+		if !rep.OK {
+			res.Status = StatusInvalid
+			res.Error = rep.FirstDiff
+			return res, nil
+		}
+	}
+	res.Status = StatusOK
+	return res, nil
+}
+
+// RunRepeated executes the same job n times (the variability experiment).
+// Repetitions run sequentially: overlapping them would perturb the very
+// timing distribution the experiment measures.
+func (s *Session) RunRepeated(ctx context.Context, spec JobSpec, n int) ([]JobResult, error) {
+	out := make([]JobResult, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := s.RunJob(ctx, spec)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunAll executes independent jobs on a bounded worker pool and returns
+// one result per spec, in spec order. Per-call options (e.g.
+// WithParallelism, WithObserver) override the session's settings for this
+// batch only; the reference cache stays shared.
+//
+// Determinism: results[i] always corresponds to specs[i], and results are
+// committed to the results database in spec order regardless of
+// completion order, so a parallel run produces a database identical
+// (modulo measured times) to a sequential one. Cancelling ctx interrupts
+// jobs already executing and marks them — along with jobs that have not
+// started — as StatusCanceled; a job whose execution already finished
+// keeps its result. The error return joins harness-level errors (unknown
+// platform or dataset) in spec order.
+func (s *Session) RunAll(ctx context.Context, specs []JobSpec, opts ...Option) ([]JobResult, error) {
+	cfg := s.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	batch := &Session{cfg: cfg, refs: s.refs, emitMu: s.emitMu}
+
+	workers := cfg.parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]JobResult, len(specs))
+	errs := make([]error, len(specs))
+
+	// Reorder buffer: jobs finish in any order, but commit to the results
+	// database in spec order as soon as the contiguous prefix is done.
+	var commitMu sync.Mutex
+	done := make([]bool, len(specs))
+	next := 0
+	commit := func(i int) {
+		commitMu.Lock()
+		defer commitMu.Unlock()
+		done[i] = true
+		for next < len(specs) && done[next] {
+			batch.record(results[next])
+			next++
+		}
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i], errs[i] = batch.execute(ctx, specs[i], batchPos{index: i, total: len(specs)})
+				commit(i)
+			}
+		}()
+	}
+	for i := range specs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
