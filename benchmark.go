@@ -56,12 +56,14 @@ type (
 	EventType    = core.EventType
 )
 
-// The event stream: per-job start/finish and per-experiment phase events.
+// The event stream: per-job start/finish, per-experiment phase and
+// per-dataset materialization events.
 const (
-	EventJobStarted         = core.EventJobStarted
-	EventJobFinished        = core.EventJobFinished
-	EventExperimentStarted  = core.EventExperimentStarted
-	EventExperimentFinished = core.EventExperimentFinished
+	EventJobStarted          = core.EventJobStarted
+	EventJobFinished         = core.EventJobFinished
+	EventExperimentStarted   = core.EventExperimentStarted
+	EventExperimentFinished  = core.EventExperimentFinished
+	EventDatasetMaterialized = core.EventDatasetMaterialized
 )
 
 // Runner executes benchmark jobs with SLA enforcement, validation and a

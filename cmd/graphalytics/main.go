@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"graphalytics"
@@ -49,6 +50,8 @@ func main() {
 		err = cmdRun(ctx, os.Args[2:])
 	case "suite":
 		err = cmdSuite(ctx, os.Args[2:])
+	case "warm":
+		err = cmdWarm(ctx, os.Args[2:])
 	case "renewal":
 		err = cmdRenewal(os.Args[2:])
 	case "validate":
@@ -66,13 +69,18 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|suite|renewal> [flags]
+	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|suite|warm|renewal|validate|bench> [flags]
   list                      print platforms, datasets and the workload survey
-  run     -platform -dataset -algorithm [-threads -machines -archive]
-  suite   -id <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table8|table9|table10|table11|all> [-out results.jsonl] [-parallel N] [-progress]
+  run     -platform -dataset -algorithm [-threads -machines -archive] [-cache-dir DIR]
+  suite   -id <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table8|table9|table10|table11|all> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
+  warm    -cache-dir DIR [-parallel N]   materialize the catalog into a snapshot cache
   renewal -budget <duration> [-platform native]
   validate -algorithm <name> -got <file> -want <file>
-  bench   -description <file.json> [-out results.jsonl] [-parallel N] [-progress]`)
+  bench   -description <file.json> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
+
+-cache-dir persists datasets as binary CSR snapshots: the first run
+generates and caches them, later runs (and 'warm'-ed caches) load the
+snapshots instead of re-generating.`)
 }
 
 // progressObserver renders the session's event stream as live progress
@@ -84,6 +92,13 @@ func progressObserver(w io.Writer) graphalytics.Observer {
 			fmt.Fprintf(w, ">> %s: running\n", e.Experiment)
 		case graphalytics.EventExperimentFinished:
 			fmt.Fprintf(w, ">> %s: done\n", e.Experiment)
+		case graphalytics.EventDatasetMaterialized:
+			// Memory hits are the steady state and would swamp the log;
+			// show only the loads that did real work, so a warmed cache is
+			// visibly all "snapshot" and a cold one all "built".
+			if src := graphalytics.DatasetSource(e.Source); src == graphalytics.SourceSnapshot || src == graphalytics.SourceBuilt {
+				fmt.Fprintf(w, "   dataset %-6s %-9s %v\n", e.Dataset, e.Source, e.Elapsed.Round(time.Microsecond))
+			}
 		case graphalytics.EventJobFinished:
 			pos := ""
 			if e.Total > 0 {
@@ -158,11 +173,19 @@ func cmdRun(ctx context.Context, args []string) error {
 	sla := fs.Duration("sla", time.Minute, "makespan budget")
 	archivePath := fs.String("archive", "", "write the Granula archive JSON to this path")
 	outputPath := fs.String("output", "", "write the per-vertex output in the Graphalytics output format")
+	cacheDir := fs.String("cache-dir", "", "load/persist datasets as binary snapshots under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	g, err := graphalytics.LoadDataset(*dataset)
+	var g *graphalytics.Graph
+	var err error
+	if *cacheDir != "" {
+		st := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: *cacheDir})
+		g, err = graphalytics.LoadDatasetFrom(st, *dataset)
+	} else {
+		g, err = graphalytics.LoadDataset(*dataset)
+	}
 	if err != nil {
 		return err
 	}
@@ -234,6 +257,7 @@ func cmdBench(ctx context.Context, args []string) error {
 	out := fs.String("out", "", "write the results database (JSON lines) to this path")
 	parallel := fs.Int("parallel", 1, "concurrent jobs (1 preserves timing fidelity)")
 	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
+	cacheDir := fs.String("cache-dir", "", "load/persist datasets as binary snapshots under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,6 +271,9 @@ func cmdBench(ctx context.Context, args []string) error {
 	opts := []graphalytics.Option{graphalytics.WithParallelism(*parallel)}
 	if *progress {
 		opts = append(opts, graphalytics.WithObserver(progressObserver(os.Stderr)))
+	}
+	if *cacheDir != "" {
+		opts = append(opts, graphalytics.WithCacheDir(*cacheDir))
 	}
 	s := graphalytics.NewSession(opts...)
 	results, err := s.RunDescription(ctx, d)
@@ -325,6 +352,7 @@ func cmdSuite(ctx context.Context, args []string) error {
 	sla := fs.Duration("sla", time.Minute, "makespan budget per job")
 	parallel := fs.Int("parallel", 1, "concurrent jobs per sweep (1 preserves timing fidelity)")
 	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
+	cacheDir := fs.String("cache-dir", "", "load/persist datasets as binary snapshots under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -335,6 +363,9 @@ func cmdSuite(ctx context.Context, args []string) error {
 	}
 	if *progress {
 		opts = append(opts, graphalytics.WithObserver(progressObserver(os.Stderr)))
+	}
+	if *cacheDir != "" {
+		opts = append(opts, graphalytics.WithCacheDir(*cacheDir))
 	}
 	s := graphalytics.NewSession(opts...)
 	single := graphalytics.SingleMachinePlatforms()
@@ -413,6 +444,36 @@ func cmdSuite(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("%d results written to %s\n", s.DB().Len(), *out)
 	}
+	return nil
+}
+
+// cmdWarm materializes the whole catalog into a snapshot cache on a
+// bounded worker pool, so subsequent runs with the same -cache-dir load
+// binary snapshots instead of re-running generators.
+func cmdWarm(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("warm", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", "", "dataset snapshot cache directory (required)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent materializations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cacheDir == "" {
+		return fmt.Errorf("warm: -cache-dir is required")
+	}
+	st := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: *cacheDir})
+	start := time.Now()
+	err := graphalytics.WarmCatalog(ctx, st, *parallel, func(id string, r graphalytics.GraphStoreResult, err error) {
+		if err != nil {
+			fmt.Printf("  %-10s ERROR %v\n", id, err)
+			return
+		}
+		fmt.Printf("  %-10s %-9s |V|=%-8d |E|=%-9d %v\n",
+			id, r.Source, r.Graph.NumVertices(), r.Graph.NumEdges(), r.Elapsed.Round(time.Microsecond))
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("catalog warmed into %s in %v\n", *cacheDir, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

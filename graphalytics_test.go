@@ -206,3 +206,60 @@ func TestFacadeRenewal(t *testing.T) {
 		t.Fatalf("with a generous budget class L should re-derive to XL, got %s", class)
 	}
 }
+
+func TestFacadeGraphStoreAndSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	st := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: dir})
+	g, err := graphalytics.LoadDatasetFrom(st, "R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same dir loads the snapshot; the facade's
+	// snapshot helpers read the same file format.
+	st2 := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: dir})
+	g2, err := graphalytics.LoadDatasetFrom(st2, "R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+		t.Fatal("snapshot round trip changed the dataset")
+	}
+	path := dir + "/manual.gsnap"
+	if err := graphalytics.SaveGraphSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graphalytics.LoadGraphSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatal("manual snapshot changed the graph")
+	}
+}
+
+func TestFacadeWarmCatalogAndCacheDirSession(t *testing.T) {
+	dir := t.TempDir()
+	st := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: dir})
+	if err := graphalytics.WarmCatalog(context.Background(), st, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A session over the warmed cache dir must not generate anything.
+	var badSources []string
+	s := graphalytics.NewSession(
+		graphalytics.WithCacheDir(dir),
+		graphalytics.WithObserver(graphalytics.ObserverFunc(func(e graphalytics.Event) {
+			if e.Type == graphalytics.EventDatasetMaterialized && e.Source == string(graphalytics.SourceBuilt) {
+				badSources = append(badSources, e.Dataset)
+			}
+		})),
+	)
+	res, err := s.RunJob(context.Background(), graphalytics.JobSpec{
+		Platform: "native", Dataset: "D300", Algorithm: graphalytics.BFS, Threads: 2, Machines: 1,
+	})
+	if err != nil || res.Status != graphalytics.StatusOK {
+		t.Fatalf("status=%v err=%v", res.Status, err)
+	}
+	if len(badSources) > 0 {
+		t.Fatalf("warmed session regenerated %v", badSources)
+	}
+}

@@ -5,13 +5,20 @@ import "time"
 // EventType names a progress event emitted by a Session.
 type EventType string
 
-// The event stream: per-job start/finish events, and per-experiment phase
-// markers bracketing the jobs of one paper artifact.
+// The event stream: per-job start/finish events, per-experiment phase
+// markers bracketing the jobs of one paper artifact, and dataset
+// materialization events from the graph store.
 const (
 	EventJobStarted         EventType = "job-started"
 	EventJobFinished        EventType = "job-finished"
 	EventExperimentStarted  EventType = "experiment-started"
 	EventExperimentFinished EventType = "experiment-finished"
+	// EventDatasetMaterialized fires every time the session resolves a
+	// dataset graph, with Source saying whether it was a cache hit
+	// ("memory"), a binary snapshot load ("snapshot") or a cold
+	// generation ("built") — the observable difference between a warmed
+	// harness and one regenerating everything.
+	EventDatasetMaterialized EventType = "dataset-materialized"
 )
 
 // Event is one progress notification. Job events carry the spec and — on
@@ -31,6 +38,12 @@ type Event struct {
 
 	// Experiment events: the report ID of the artifact being generated.
 	Experiment string
+
+	// Dataset materialization events.
+	Dataset string        // dataset ID, e.g. "D300"
+	Source  string        // "memory", "snapshot" or "built"
+	Elapsed time.Duration // materialization wall time for this load
+	Bytes   int64         // graph memory footprint
 }
 
 // Observer receives the session's event stream. The session serializes

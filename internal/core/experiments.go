@@ -98,7 +98,7 @@ func cellAppender(rep *Report, ri int) func(JobResult) {
 // Platforms and Threads.
 func (s *Session) DatasetVariety(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
-	datasets, err := workload.UpToClass(metrics.ClassL)
+	datasets, err := workload.UpToClassWith(s.loadGraph, metrics.ClassL)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +111,7 @@ func (s *Session) DatasetVariety(ctx context.Context, cfg ExperimentConfig) (*Re
 	}
 	var m jobMatrix
 	for _, d := range datasets {
-		g, err := workload.Load(d.ID)
+		g, err := s.loadGraph(d)
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +348,7 @@ func (s *Session) StressTest(ctx context.Context, cfg ExperimentConfig) (*Report
 	}
 	var datasets []scored
 	for _, d := range workload.Catalog() {
-		g, err := workload.Load(d.ID)
+		g, err := s.loadGraph(d)
 		if err != nil {
 			return nil, err
 		}
@@ -379,7 +379,7 @@ func (s *Session) StressTest(ctx context.Context, cfg ExperimentConfig) (*Report
 				return nil, cerr
 			}
 			if !res.Completed() {
-				g, _ := workload.Load(ds.d.ID)
+				g, _ := s.loadGraph(ds.d)
 				failing = ds.d.ID
 				scale = fmt.Sprintf("%.1f", ds.scale)
 				class = string(workload.Class(g))

@@ -59,6 +59,7 @@ func (r *Runner) Session(opts ...Option) *Session {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.resolveStore()
 	return &Session{cfg: cfg, refs: r.refs, emitMu: new(sync.Mutex)}
 }
 

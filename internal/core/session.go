@@ -24,6 +24,8 @@ import (
 
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/graphstore"
 	"graphalytics/internal/metrics"
 	"graphalytics/internal/platform"
 	"graphalytics/internal/validation"
@@ -39,6 +41,27 @@ type config struct {
 	db          *ResultsDB
 	parallelism int
 	observer    Observer
+	store       *graphstore.Store
+	cacheDir    string
+	// storeExplicit records that WithGraphStore was applied, so RunAll's
+	// per-batch override logic can tell an explicitly passed store from
+	// one inherited from the session.
+	storeExplicit bool
+}
+
+// resolveStore settles which graph store the session materializes
+// datasets through: an explicit WithGraphStore wins, otherwise a cache
+// directory gets a dedicated snapshot-backed store, otherwise the
+// process-wide default store (pure in-memory memoization).
+func (c *config) resolveStore() {
+	if c.store != nil {
+		return
+	}
+	if c.cacheDir != "" {
+		c.store = graphstore.New(graphstore.Options{Dir: c.cacheDir})
+		return
+	}
+	c.store = workload.DefaultStore()
 }
 
 // Option configures a Session (and, per call, a RunAll batch).
@@ -65,8 +88,25 @@ func WithResultsDB(db *ResultsDB) Option { return func(c *config) { c.db = db } 
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // WithObserver streams progress events (job started/finished, experiment
-// phases) to o. The session serializes Observe calls.
+// phases, dataset materializations) to o. The session serializes Observe
+// calls.
 func WithObserver(o Observer) Option { return func(c *config) { c.observer = o } }
+
+// WithGraphStore routes the session's dataset materialization through st:
+// jobs, experiments and reference computations all load graphs from it.
+// Sharing one store across sessions shares its cache. Without this option
+// the session uses the workload package's process-wide in-memory store, or
+// a snapshot-backed one when WithCacheDir is given.
+func WithGraphStore(st *graphstore.Store) Option {
+	return func(c *config) { c.store = st; c.storeExplicit = true }
+}
+
+// WithCacheDir gives the session a dedicated graph store that persists
+// binary CSR snapshots under dir: the first materialization of a dataset
+// generates and snapshots it, later runs — including later processes —
+// load the snapshot instead of re-generating. Ignored when WithGraphStore
+// is also given.
+func WithCacheDir(dir string) Option { return func(c *config) { c.cacheDir = dir } }
 
 // Session orchestrates benchmark jobs: SLA enforcement, validation
 // against single-flighted reference outputs, a results database, and a
@@ -90,7 +130,26 @@ func NewSession(opts ...Option) *Session {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.resolveStore()
 	return &Session{cfg: cfg, refs: newRefCache(), emitMu: new(sync.Mutex)}
+}
+
+// GraphStore returns the store the session materializes datasets through.
+func (s *Session) GraphStore() *graphstore.Store { return s.cfg.store }
+
+// loadGraph materializes a dataset through the session's store and
+// reports the outcome on the event stream, so observers can tell cache
+// hits from cold builds.
+func (s *Session) loadGraph(d workload.Dataset) (*graph.Graph, error) {
+	r, err := workload.GetFrom(s.cfg.store, d.ID)
+	if err != nil {
+		return nil, err
+	}
+	s.emit(Event{
+		Type: EventDatasetMaterialized, Dataset: d.ID,
+		Source: string(r.Source), Elapsed: r.Elapsed, Bytes: r.Bytes,
+	})
+	return r.Graph, nil
 }
 
 // DB returns the session's results database.
@@ -134,12 +193,13 @@ func newRefCache() *refCache {
 }
 
 // get returns the reference output for a dataset/algorithm pair, computing
-// it at most once per cache regardless of concurrency. The context only
-// gates starting a new computation: an existing entry is cached or in
-// flight and is always used, so a job that finished execution does not
-// lose its validation to a late cancellation, and a computation in flight
-// is never abandoned since other jobs may be waiting on it.
-func (c *refCache) get(ctx context.Context, d workload.Dataset, a algorithms.Algorithm) (*algorithms.Output, error) {
+// it at most once per cache regardless of concurrency. load materializes
+// the dataset's graph (sessions pass their store-backed loader). The
+// context only gates starting a new computation: an existing entry is
+// cached or in flight and is always used, so a job that finished execution
+// does not lose its validation to a late cancellation, and a computation
+// in flight is never abandoned since other jobs may be waiting on it.
+func (c *refCache) get(ctx context.Context, d workload.Dataset, a algorithms.Algorithm, load func(workload.Dataset) (*graph.Graph, error)) (*algorithms.Output, error) {
 	key := d.ID + "/" + string(a)
 	c.mu.Lock()
 	e := c.entries[key]
@@ -154,7 +214,7 @@ func (c *refCache) get(ctx context.Context, d workload.Dataset, a algorithms.Alg
 	c.mu.Unlock()
 	e.once.Do(func() {
 		c.computes.Add(1)
-		g, err := workload.Load(d.ID)
+		g, err := load(d)
 		if err != nil {
 			e.err = err
 			return
@@ -213,7 +273,7 @@ func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos) (res 
 	if err != nil {
 		return res, err
 	}
-	g, err := workload.Load(spec.Dataset)
+	g, err := s.loadGraph(d)
 	if err != nil {
 		return res, err
 	}
@@ -291,7 +351,7 @@ func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos) (res 
 	if s.cfg.validate {
 		// Validation is harness work outside the SLA window, so it runs
 		// under the caller's context, not the job deadline.
-		want, rerr := s.refs.get(ctx, d, spec.Algorithm)
+		want, rerr := s.refs.get(ctx, d, spec.Algorithm, s.loadGraph)
 		if rerr != nil {
 			if ctx.Err() != nil {
 				res.Status, res.Error = StatusCanceled, rerr.Error()
@@ -344,9 +404,17 @@ func (s *Session) RunRepeated(ctx context.Context, spec JobSpec, n int) ([]JobRe
 // platform or dataset) in spec order.
 func (s *Session) RunAll(ctx context.Context, specs []JobSpec, opts ...Option) ([]JobResult, error) {
 	cfg := s.cfg
+	cfg.storeExplicit = false
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if !cfg.storeExplicit && cfg.cacheDir != s.cfg.cacheDir {
+		// A per-batch WithCacheDir asks for a different snapshot store —
+		// but only when the batch did not also pass WithGraphStore, which
+		// always wins.
+		cfg.store = nil
+	}
+	cfg.resolveStore()
 	batch := &Session{cfg: cfg, refs: s.refs, emitMu: s.emitMu}
 
 	workers := cfg.parallelism

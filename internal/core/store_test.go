@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/core"
+	"graphalytics/internal/graphstore"
+)
+
+// sourceRecorder collects dataset materialization events by source.
+type sourceRecorder struct {
+	mu      sync.Mutex
+	sources map[string][]string // dataset -> sources in order
+}
+
+func newSourceRecorder() *sourceRecorder {
+	return &sourceRecorder{sources: make(map[string][]string)}
+}
+
+func (r *sourceRecorder) Observe(e core.Event) {
+	if e.Type != core.EventDatasetMaterialized {
+		return
+	}
+	r.mu.Lock()
+	r.sources[e.Dataset] = append(r.sources[e.Dataset], e.Source)
+	r.mu.Unlock()
+}
+
+func (r *sourceRecorder) of(dataset string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.sources[dataset]...)
+}
+
+// TestCacheDirWarmRunSkipsGeneration is the end-to-end cold/warm
+// assertion: a job in a fresh process-equivalent session over the same
+// cache dir must materialize its dataset from the snapshot, never the
+// generator.
+func TestCacheDirWarmRunSkipsGeneration(t *testing.T) {
+	dir := t.TempDir()
+	spec := core.JobSpec{Platform: "native", Dataset: "R1", Algorithm: algorithms.BFS, Threads: 2, Machines: 1}
+
+	cold := newSourceRecorder()
+	s1 := core.NewSession(core.WithCacheDir(dir), core.WithObserver(cold))
+	res, err := s1.RunJob(context.Background(), spec)
+	if err != nil || res.Status != core.StatusOK {
+		t.Fatalf("cold run: status=%v err=%v", res.Status, err)
+	}
+	got := cold.of("R1")
+	if len(got) == 0 || got[0] != string(graphstore.SourceBuilt) {
+		t.Fatalf("cold run sources = %v, want first load built", got)
+	}
+
+	warm := newSourceRecorder()
+	s2 := core.NewSession(core.WithCacheDir(dir), core.WithObserver(warm))
+	res, err = s2.RunJob(context.Background(), spec)
+	if err != nil || res.Status != core.StatusOK {
+		t.Fatalf("warm run: status=%v err=%v", res.Status, err)
+	}
+	got = warm.of("R1")
+	if len(got) == 0 {
+		t.Fatal("warm run emitted no dataset events")
+	}
+	for i, src := range got {
+		if src == string(graphstore.SourceBuilt) {
+			t.Fatalf("warm run load %d regenerated the dataset; sources = %v", i, got)
+		}
+	}
+	if got[0] != string(graphstore.SourceSnapshot) {
+		t.Fatalf("warm run sources = %v, want first load from snapshot", got)
+	}
+}
+
+// TestWithGraphStoreShared verifies two sessions handed the same store
+// share materializations: the second session's loads are memory hits.
+func TestWithGraphStoreShared(t *testing.T) {
+	st := graphstore.New(graphstore.Options{})
+	spec := core.JobSpec{Platform: "native", Dataset: "R2", Algorithm: algorithms.BFS, Threads: 2, Machines: 1}
+
+	s1 := core.NewSession(core.WithGraphStore(st))
+	if s1.GraphStore() != st {
+		t.Fatal("GraphStore must return the injected store")
+	}
+	if _, err := s1.RunJob(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := newSourceRecorder()
+	s2 := core.NewSession(core.WithGraphStore(st), core.WithObserver(rec))
+	res, err := s2.RunJob(context.Background(), spec)
+	if err != nil || res.Status != core.StatusOK {
+		t.Fatalf("status=%v err=%v", res.Status, err)
+	}
+	for _, src := range rec.of("R2") {
+		if src != string(graphstore.SourceMemory) {
+			t.Fatalf("shared-store load source = %v, want memory", src)
+		}
+	}
+}
+
+// TestDefaultSessionsShareProcessStore pins the pre-refactor behavior:
+// plain sessions keep sharing one in-memory dataset cache per process.
+func TestDefaultSessionsShareProcessStore(t *testing.T) {
+	a, b := core.NewSession(), core.NewSession()
+	if a.GraphStore() != b.GraphStore() {
+		t.Fatal("sessions without store options must share the default store")
+	}
+}
+
+// TestRunAllBatchStorePrecedence pins the option precedence for per-batch
+// overrides: an explicit WithGraphStore always wins, even when
+// WithCacheDir is passed alongside it.
+func TestRunAllBatchStorePrecedence(t *testing.T) {
+	st := graphstore.New(graphstore.Options{})
+	s := core.NewSession()
+	dir := t.TempDir()
+	specs := []core.JobSpec{{Platform: "native", Dataset: "R1", Algorithm: algorithms.BFS, Threads: 2, Machines: 1}}
+	results, err := s.RunAll(context.Background(), specs, core.WithGraphStore(st), core.WithCacheDir(dir))
+	if err != nil || results[0].Status != core.StatusOK {
+		t.Fatalf("status=%v err=%v", results[0].Status, err)
+	}
+	if st.Len() == 0 {
+		t.Fatal("explicit batch store was bypassed")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("cache dir must stay unused when WithGraphStore wins, found %d entries", len(entries))
+	}
+
+	// Explicitly passing the session's own store must count as explicit
+	// too: the cache dir alongside it stays ignored.
+	dir2 := t.TempDir()
+	if _, err := s.RunAll(context.Background(), specs, core.WithGraphStore(s.GraphStore()), core.WithCacheDir(dir2)); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := os.ReadDir(dir2); len(entries) != 0 {
+		t.Fatalf("cache dir must stay unused when the session's own store is passed explicitly, found %d entries", len(entries))
+	}
+
+	// Without an explicit store, a batch WithCacheDir does take effect.
+	if _, err := s.RunAll(context.Background(), specs, core.WithCacheDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("batch WithCacheDir alone must produce snapshots")
+	}
+}

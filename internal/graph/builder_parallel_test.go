@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"slices"
+	"testing"
+)
+
+// forceWorkers raises GOMAXPROCS so the builder's parallel paths run
+// multi-worker even on single-core CI machines, restoring it afterwards.
+func forceWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestSortInt64sParallel checks the chunked parallel sort against the
+// standard library on inputs large enough to take the parallel path.
+func TestSortInt64sParallel(t *testing.T) {
+	forceWorkers(t, 4)
+	for _, n := range []int{0, 1, 100, minParallelGrain, 3*minParallelGrain + 17, 20 * minParallelGrain} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = rng.Int63n(int64(n/2 + 1))
+		}
+		want := append([]int64(nil), a...)
+		slices.Sort(want)
+		got := sortInt64s(a)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: parallel sort disagrees with slices.Sort", n)
+		}
+	}
+}
+
+// TestBuildMatchesReferenceLarge cross-checks the parallel counting-sort
+// build against a naive map-based construction on inputs large enough to
+// engage multiple workers, across the directed × weighted matrix, with
+// duplicates, self-loops and isolated vertices in the mix.
+func TestBuildMatchesReferenceLarge(t *testing.T) {
+	forceWorkers(t, 4)
+	const nVerts, nEdges = 3000, 8 * minParallelGrain
+	for _, directed := range []bool{true, false} {
+		for _, weighted := range []bool{true, false} {
+			rng := rand.New(rand.NewSource(7))
+			b := NewBuilder(directed, weighted)
+			b.SetOptions(BuildOptions{DedupEdges: true, DropSelfLoops: true})
+			b.AddVertex(1 << 40) // isolated, far outside the edge ID range
+			type ekey struct{ s, d int64 }
+			first := make(map[ekey]float64) // keep-first reference weights
+			deg := make(map[int64]map[int64]bool)
+			addRef := func(s, d int64, w float64) {
+				ks, kd := s, d
+				if !directed && ks > kd {
+					ks, kd = kd, ks
+				}
+				k := ekey{ks, kd}
+				if _, dup := first[k]; dup {
+					return
+				}
+				first[k] = w
+				if deg[s] == nil {
+					deg[s] = make(map[int64]bool)
+				}
+				deg[s][d] = true
+				if !directed {
+					if deg[d] == nil {
+						deg[d] = make(map[int64]bool)
+					}
+					deg[d][s] = true
+				}
+			}
+			for i := 0; i < nEdges; i++ {
+				s := rng.Int63n(nVerts) * 3 // sparse external IDs
+				d := rng.Int63n(nVerts) * 3
+				w := float64(i)
+				b.AddWeightedEdge(s, d, w)
+				if s != d {
+					addRef(s, d, w)
+				}
+			}
+			g, err := b.Build()
+			if err != nil {
+				t.Fatalf("directed=%v weighted=%v: %v", directed, weighted, err)
+			}
+			if int64(len(first)) != g.NumEdges() {
+				t.Fatalf("directed=%v weighted=%v: |E|=%d, want %d", directed, weighted, g.NumEdges(), len(first))
+			}
+			if _, ok := g.Index(1 << 40); !ok {
+				t.Fatal("isolated vertex lost")
+			}
+			for v := int32(0); v < int32(g.NumVertices()); v++ {
+				id := g.VertexID(v)
+				adj := g.OutNeighbors(v)
+				ws := g.OutWeights(v)
+				if len(adj) != len(deg[id]) {
+					t.Fatalf("vertex %d: outdeg=%d, want %d", id, len(adj), len(deg[id]))
+				}
+				for i, u := range adj {
+					if i > 0 && adj[i-1] >= u {
+						t.Fatalf("vertex %d: adjacency not strictly ascending", id)
+					}
+					uid := g.VertexID(u)
+					if !deg[id][uid] {
+						t.Fatalf("vertex %d: unexpected neighbor %d", id, uid)
+					}
+					if weighted {
+						ks, kd := id, uid
+						if !directed && ks > kd {
+							ks, kd = kd, ks
+						}
+						if want := first[ekey{ks, kd}]; ws[i] != want {
+							t.Fatalf("edge (%d,%d): weight %v, want first-occurrence %v", id, uid, ws[i], want)
+						}
+					}
+				}
+				if directed {
+					// In-adjacency must mirror the reference transpose.
+					for _, u := range g.InNeighbors(v) {
+						if !deg[g.VertexID(u)][id] {
+							t.Fatalf("vertex %d: unexpected in-neighbor %d", id, g.VertexID(u))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildStrictErrorsOnParallelPath verifies duplicate and self-loop
+// errors are still raised when Build runs multi-worker.
+func TestBuildStrictErrorsOnParallelPath(t *testing.T) {
+	forceWorkers(t, 4)
+	mk := func() *Builder {
+		b := NewBuilder(true, false)
+		for i := 0; i < 4*minParallelGrain; i++ {
+			b.AddEdge(int64(i), int64(i+1))
+		}
+		return b
+	}
+	b := mk()
+	b.AddEdge(17, 18) // duplicate of an existing edge
+	if _, err := b.Build(); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("err = %v, want ErrDuplicateEdge", err)
+	}
+	b = mk()
+	b.AddEdge(99, 99)
+	if _, err := b.Build(); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err = %v, want ErrSelfLoop", err)
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// The builder's parallel pipeline: workers splits work by input size,
+// parallelChunks fans a half-open range out over a fixed worker count, and
+// sortInt64s is a chunked parallel sort. All of it degrades to plain
+// sequential execution for small inputs, so tiny graphs pay no goroutine
+// overhead.
+
+// minParallelGrain is the smallest per-worker share of elements worth a
+// goroutine; below it the extra coordination costs more than it saves.
+const minParallelGrain = 1 << 13
+
+// workers returns how many workers to use for n elements: GOMAXPROCS,
+// capped so every worker gets at least minParallelGrain elements.
+func workers(n int) int {
+	p := runtime.GOMAXPROCS(0)
+	if max := n / minParallelGrain; p > max {
+		p = max
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// parallelChunks splits [0, n) into p near-equal half-open chunks and runs
+// fn(worker, lo, hi) for each, concurrently when p > 1. Chunk w always
+// covers the same range for the same (n, p), which the counting-sort
+// scatter relies on for stable per-vertex edge order.
+func parallelChunks(n, p int, fn func(worker, lo, hi int)) {
+	if p <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo, hi := chunkRange(n, p, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// chunkRange returns the w-th of p near-equal half-open chunks of [0, n).
+func chunkRange(n, p, w int) (lo, hi int) {
+	lo = w * n / p
+	hi = (w + 1) * n / p
+	return lo, hi
+}
+
+// sortInt64s sorts a ascending and returns the sorted slice, which may be
+// a (possibly different) buffer than the input: large inputs are sorted as
+// parallel chunks and merged level by level between two buffers.
+func sortInt64s(a []int64) []int64 {
+	p := workers(len(a))
+	if p == 1 {
+		slices.Sort(a)
+		return a
+	}
+	// Sort p chunks in parallel, then merge pairs of runs — also in
+	// parallel — until one run remains.
+	bounds := make([]int, p+1)
+	for w := 0; w <= p; w++ {
+		bounds[w] = w * len(a) / p
+	}
+	parallelChunks(len(a), p, func(_, lo, hi int) { slices.Sort(a[lo:hi]) })
+
+	buf := make([]int64, len(a))
+	for len(bounds) > 2 {
+		next := []int{bounds[0]}
+		var wg sync.WaitGroup
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mergeInt64s(buf[lo:hi], a[lo:mid], a[mid:hi])
+			}()
+			next = append(next, hi)
+		}
+		if i+1 < len(bounds) {
+			// Odd run out: carry it into the next level unmerged.
+			lo, hi := bounds[i], bounds[i+1]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				copy(buf[lo:hi], a[lo:hi])
+			}()
+			next = append(next, hi)
+		}
+		wg.Wait()
+		a, buf = buf, a
+		bounds = next
+	}
+	return a
+}
+
+// mergeInt64s merges two sorted runs into dst; len(dst) == len(x)+len(y).
+func mergeInt64s(dst, x, y []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i] <= y[j] {
+			dst[k] = x[i]
+			i++
+		} else {
+			dst[k] = y[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], x[i:])
+	copy(dst[k+len(x)-i:], y[j:])
+}

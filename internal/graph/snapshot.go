@@ -1,0 +1,417 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The snapshot format persists a built graph's CSR arrays verbatim, so a
+// cached dataset loads back with a handful of bulk reads instead of
+// re-parsing text or re-running a generator. Layout (little-endian):
+//
+//	magic   [8]byte  "GLYTSNAP"
+//	version uint32   (currently 1)
+//	flags   uint32   bit 0 directed, bit 1 weighted
+//	nameLen uint32, name bytes
+//	numVertices, numEdges, arcs  uint64
+//	ids       [numVertices]int64
+//	outOff    [numVertices+1]int64
+//	outAdj    [arcs]int32
+//	outW      [arcs]float64            (weighted only)
+//	inOff, inAdj, inW                  (directed only; same shapes)
+//	checksum  uint32   CRC-32C over everything before it
+//
+// Decoding verifies the magic, version and checksum and bounds-checks the
+// header, returning an error wrapping ErrBadSnapshot for any mismatch so
+// callers can treat a stale or corrupt snapshot as a cache miss rather
+// than a hard failure.
+
+// ErrBadSnapshot is wrapped by every decode failure caused by the snapshot
+// bytes themselves (bad magic, unknown version, truncation, checksum
+// mismatch, inconsistent header). Callers should treat it as "regenerate".
+var ErrBadSnapshot = errors.New("graph: bad snapshot")
+
+const (
+	snapshotMagic   = "GLYTSNAP"
+	snapshotVersion = 1
+
+	snapFlagDirected = 1 << 0
+	snapFlagWeighted = 1 << 1
+
+	// snapshotMaxElems bounds header-declared array lengths before any
+	// allocation, so a corrupt header cannot OOM the process. Vertex
+	// counts must fit int32 anyway (internal indices are int32).
+	snapshotMaxElems = 1 << 34
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64 and
+// arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeSnapshot writes g to w in the binary snapshot format.
+func EncodeSnapshot(w io.Writer, g *Graph) error {
+	crc := crc32.New(crcTable)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
+
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+	var flags uint32
+	if g.directed {
+		flags |= snapFlagDirected
+	}
+	if g.weighted {
+		flags |= snapFlagWeighted
+	}
+	name := []byte(g.name)
+	hdr := make([]byte, 0, 64)
+	hdr = binary.LittleEndian.AppendUint32(hdr, snapshotVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(name)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+	if _, err := bw.Write(name); err != nil {
+		return fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+	sizes := make([]byte, 0, 24)
+	sizes = binary.LittleEndian.AppendUint64(sizes, uint64(len(g.ids)))
+	sizes = binary.LittleEndian.AppendUint64(sizes, uint64(g.numEdges))
+	sizes = binary.LittleEndian.AppendUint64(sizes, uint64(len(g.outAdj)))
+	if _, err := bw.Write(sizes); err != nil {
+		return fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+
+	if err := writeInt64s(bw, g.ids); err != nil {
+		return err
+	}
+	if err := writeInt64s(bw, g.outOff); err != nil {
+		return err
+	}
+	if err := writeInt32s(bw, g.outAdj); err != nil {
+		return err
+	}
+	if g.weighted {
+		if err := writeFloat64s(bw, g.outW); err != nil {
+			return err
+		}
+	}
+	if g.directed {
+		if err := writeInt64s(bw, g.inOff); err != nil {
+			return err
+		}
+		if err := writeInt32s(bw, g.inAdj); err != nil {
+			return err
+		}
+		if g.weighted {
+			if err := writeFloat64s(bw, g.inW); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+	// The checksum goes to the underlying writer only: it covers all
+	// preceding bytes and is not part of its own input.
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a graph from the binary snapshot format. Corrupt,
+// truncated or version-mismatched input yields an error wrapping
+// ErrBadSnapshot.
+func DecodeSnapshot(r io.Reader) (*Graph, error) {
+	// The tee sits on the consumer side of the buffer, so the hash covers
+	// exactly the bytes decoded — bufio read-ahead must not feed the
+	// trailing checksum into its own computation.
+	crc := crc32.New(crcTable)
+	raw := bufio.NewReaderSize(r, 1<<16)
+	br := io.TeeReader(raw, crc)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, badSnapshot("reading magic: %v", err)
+	}
+	if string(magic[:]) != snapshotMagic {
+		return nil, badSnapshot("magic %q", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, badSnapshot("reading header: %v", err)
+	}
+	version := binary.LittleEndian.Uint32(hdr[0:4])
+	if version != snapshotVersion {
+		return nil, badSnapshot("version %d, want %d", version, snapshotVersion)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[4:8])
+	nameLen := binary.LittleEndian.Uint32(hdr[8:12])
+	if nameLen > 1<<20 {
+		return nil, badSnapshot("name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, badSnapshot("reading name: %v", err)
+	}
+	var sizes [24]byte
+	if _, err := io.ReadFull(br, sizes[:]); err != nil {
+		return nil, badSnapshot("reading sizes: %v", err)
+	}
+	nVerts := binary.LittleEndian.Uint64(sizes[0:8])
+	nEdges := binary.LittleEndian.Uint64(sizes[8:16])
+	arcs := binary.LittleEndian.Uint64(sizes[16:24])
+	if nVerts > math.MaxInt32 || arcs > snapshotMaxElems || nEdges > arcs {
+		return nil, badSnapshot("sizes |V|=%d |E|=%d arcs=%d", nVerts, nEdges, arcs)
+	}
+
+	g := &Graph{
+		name:     string(name),
+		directed: flags&snapFlagDirected != 0,
+		weighted: flags&snapFlagWeighted != 0,
+		numEdges: int64(nEdges),
+	}
+	var err error
+	if g.ids, err = readInt64s(br, int(nVerts)); err != nil {
+		return nil, err
+	}
+	if g.outOff, err = readInt64s(br, int(nVerts)+1); err != nil {
+		return nil, err
+	}
+	if g.outAdj, err = readInt32s(br, int(arcs)); err != nil {
+		return nil, err
+	}
+	if g.weighted {
+		if g.outW, err = readFloat64s(br, int(arcs)); err != nil {
+			return nil, err
+		}
+	}
+	if g.directed {
+		if g.inOff, err = readInt64s(br, int(nVerts)+1); err != nil {
+			return nil, err
+		}
+		if g.inAdj, err = readInt32s(br, int(arcs)); err != nil {
+			return nil, err
+		}
+		if g.weighted {
+			if g.inW, err = readFloat64s(br, int(arcs)); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
+	}
+
+	// The trailing checksum is read from the raw buffered reader so it
+	// does not feed the hash.
+	want := crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(raw, sum[:]); err != nil {
+		return nil, badSnapshot("reading checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, badSnapshot("checksum %08x, want %08x", got, want)
+	}
+	if err := g.checkShape(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// checkShape validates structural invariants a checksum cannot: offsets
+// must be monotonic and in bounds, adjacency indices must name real
+// vertices, and the identifier table and per-vertex neighbor lists must
+// be strictly ascending (Index and HasEdge binary-search them). This
+// keeps a syntactically valid but inconsistent snapshot from silently
+// corrupting kernel results later.
+func (g *Graph) checkShape() error {
+	n := int64(len(g.ids))
+	for i := int64(1); i < n; i++ {
+		if g.ids[i-1] >= g.ids[i] {
+			return badSnapshot("identifier table not strictly ascending at %d", i)
+		}
+	}
+	check := func(off []int64, adj []int32) error {
+		if int64(len(off)) != n+1 || off[0] != 0 || off[n] != int64(len(adj)) {
+			return badSnapshot("offset table shape")
+		}
+		for v := int64(0); v < n; v++ {
+			if off[v] > off[v+1] {
+				return badSnapshot("offsets not monotonic at vertex %d", v)
+			}
+			for i := off[v] + 1; i < off[v+1]; i++ {
+				if adj[i-1] >= adj[i] {
+					return badSnapshot("adjacency of vertex %d not strictly ascending", v)
+				}
+			}
+		}
+		for _, u := range adj {
+			if int64(u) < 0 || int64(u) >= n {
+				return badSnapshot("adjacency index %d out of range", u)
+			}
+		}
+		return nil
+	}
+	if err := check(g.outOff, g.outAdj); err != nil {
+		return err
+	}
+	if g.directed {
+		return check(g.inOff, g.inAdj)
+	}
+	return nil
+}
+
+func badSnapshot(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
+}
+
+// WriteSnapshotFile atomically writes g's snapshot to path: the bytes land
+// in a temporary file in the same directory which is fsynced and renamed
+// into place, so readers never observe a partial snapshot.
+func WriteSnapshotFile(path string, g *Graph) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("graph: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := EncodeSnapshot(tmp, g); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("graph: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("graph: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("graph: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile reads a snapshot written by WriteSnapshotFile. Errors
+// from corrupt content wrap ErrBadSnapshot; a missing file surfaces as an
+// fs.ErrNotExist error.
+func ReadSnapshotFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSnapshot(f)
+}
+
+// Bulk little-endian slice codecs. A shared chunk buffer keeps the
+// conversion allocation-free per call and lets bufio do large writes.
+
+const snapChunk = 8192 // elements per conversion chunk
+
+func writeInt64s(w io.Writer, a []int64) error {
+	buf := make([]byte, 8*snapChunk)
+	for len(a) > 0 {
+		n := min(len(a), snapChunk)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(a[i]))
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return fmt.Errorf("graph: encode snapshot: %w", err)
+		}
+		a = a[n:]
+	}
+	return nil
+}
+
+func writeInt32s(w io.Writer, a []int32) error {
+	buf := make([]byte, 4*snapChunk)
+	for len(a) > 0 {
+		n := min(len(a), snapChunk)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(a[i]))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return fmt.Errorf("graph: encode snapshot: %w", err)
+		}
+		a = a[n:]
+	}
+	return nil
+}
+
+func writeFloat64s(w io.Writer, a []float64) error {
+	buf := make([]byte, 8*snapChunk)
+	for len(a) > 0 {
+		n := min(len(a), snapChunk)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(a[i]))
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return fmt.Errorf("graph: encode snapshot: %w", err)
+		}
+		a = a[n:]
+	}
+	return nil
+}
+
+// The readers grow their result incrementally (append, starting from a
+// bounded capacity) rather than allocating len==n up front: a corrupt
+// header that lies about array sizes then fails at the first missing byte
+// instead of forcing a multi-gigabyte allocation first.
+
+const snapInitialCap = 1 << 20 // elements; ~8 MiB worst case
+
+func readInt64s(r io.Reader, n int) ([]int64, error) {
+	out := make([]int64, 0, min(n, snapInitialCap))
+	buf := make([]byte, 8*snapChunk)
+	for len(out) < n {
+		c := min(n-len(out), snapChunk)
+		if _, err := io.ReadFull(r, buf[:8*c]); err != nil {
+			return nil, badSnapshot("reading int64 array: %v", err)
+		}
+		for j := 0; j < c; j++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[8*j:])))
+		}
+	}
+	return out, nil
+}
+
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, min(n, snapInitialCap))
+	buf := make([]byte, 4*snapChunk)
+	for len(out) < n {
+		c := min(n-len(out), snapChunk)
+		if _, err := io.ReadFull(r, buf[:4*c]); err != nil {
+			return nil, badSnapshot("reading int32 array: %v", err)
+		}
+		for j := 0; j < c; j++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*j:])))
+		}
+	}
+	return out, nil
+}
+
+func readFloat64s(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, snapInitialCap))
+	buf := make([]byte, 8*snapChunk)
+	for len(out) < n {
+		c := min(n-len(out), snapChunk)
+		if _, err := io.ReadFull(r, buf[:8*c]); err != nil {
+			return nil, badSnapshot("reading float64 array: %v", err)
+		}
+		for j := 0; j < c; j++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:])))
+		}
+	}
+	return out, nil
+}

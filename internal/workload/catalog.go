@@ -21,6 +21,7 @@ import (
 	"graphalytics/internal/datagen"
 	"graphalytics/internal/graph"
 	"graphalytics/internal/graph500"
+	"graphalytics/internal/graphstore"
 	"graphalytics/internal/metrics"
 )
 
@@ -45,6 +46,19 @@ type Dataset struct {
 	Generate func() (*graph.Graph, error)
 }
 
+// GeneratorVersion is the version of the stand-in generators as a whole.
+// Bump it whenever any generator's output changes, so on-disk snapshots
+// keyed by Fingerprint are invalidated instead of silently serving stale
+// graphs.
+const GeneratorVersion = 1
+
+// Fingerprint identifies the exact bytes Generate would produce: the
+// dataset ID plus the generator version. It is the graph store's cache
+// key, on disk and in memory.
+func (d Dataset) Fingerprint() string {
+	return fmt.Sprintf("%s@g%d", d.ID, GeneratorVersion)
+}
+
 // ScaleShift rebases the T-shirt classes for the reproduction workload.
 // The catalog's stand-ins are about 10^4 times smaller than the paper's
 // datasets, so a lite graph of scale s plays the role of a paper graph of
@@ -65,45 +79,45 @@ func Class(g *graph.Graph) metrics.Class {
 	return metrics.ClassOf(Scale(g) + ScaleShift)
 }
 
-// catalogOnce memoizes generated graphs: the harness and the benchmarks
-// reuse datasets across experiments.
+// The catalog is assembled and indexed exactly once: entries (and their
+// Generate closures) used to be re-allocated and linearly scanned on every
+// ByID call, which is pure waste on the harness's hot path.
 var (
-	cacheMu sync.Mutex
-	cache   = make(map[string]*graph.Graph)
+	catalogOnce  sync.Once
+	catalogData  []Dataset
+	catalogIndex map[string]int
 )
 
-// Load generates (or returns the cached) graph for a dataset ID.
-func Load(id string) (*graph.Graph, error) {
-	d, err := ByID(id)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if g, ok := cache[id]; ok {
-		return g, nil
-	}
-	g, err := d.Generate()
-	if err != nil {
-		return nil, fmt.Errorf("workload: generate %s: %w", id, err)
-	}
-	cache[id] = g
-	return g, nil
+func initCatalog() {
+	catalogOnce.Do(func() {
+		catalogData = buildCatalog()
+		catalogIndex = make(map[string]int, len(catalogData))
+		for i, d := range catalogData {
+			catalogIndex[d.ID] = i
+		}
+	})
 }
 
 // ByID returns the catalog entry with the given ID.
 func ByID(id string) (Dataset, error) {
-	for _, d := range Catalog() {
-		if d.ID == id {
-			return d, nil
-		}
+	initCatalog()
+	if i, ok := catalogIndex[id]; ok {
+		return catalogData[i], nil
 	}
 	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", id)
 }
 
 // Catalog returns every dataset of the reproduction workload, real-world
-// stand-ins first (Table 3), then synthetic (Table 4).
+// stand-ins first (Table 3), then synthetic (Table 4). The returned slice
+// is the caller's to reorder.
 func Catalog() []Dataset {
+	initCatalog()
+	return append([]Dataset(nil), catalogData...)
+}
+
+// buildCatalog allocates the catalog entries; callers go through Catalog
+// or ByID, which memoize it.
+func buildCatalog() []Dataset {
 	return []Dataset{
 		// ---- Table 3: real-world dataset stand-ins ----
 		{
@@ -208,15 +222,27 @@ func graph500Entry(id string, paperScaleParam int, paperScale float64) Dataset {
 
 // UpToClass returns catalog datasets whose generated graph is in the given
 // class or smaller, sorted by scale (the paper's "all datasets up to class
-// L" selections).
+// L" selections). Graphs materialize through the default store.
 func UpToClass(max metrics.Class) ([]Dataset, error) {
+	return UpToClassFrom(DefaultStore(), max)
+}
+
+// UpToClassFrom is UpToClass materializing through the given store.
+func UpToClassFrom(s *graphstore.Store, max metrics.Class) ([]Dataset, error) {
+	return UpToClassWith(func(d Dataset) (*graph.Graph, error) { return LoadFrom(s, d.ID) }, max)
+}
+
+// UpToClassWith is UpToClass materializing through an arbitrary loader —
+// the harness passes its session loader so dataset events fire for the
+// classification scan too.
+func UpToClassWith(load func(Dataset) (*graph.Graph, error), max metrics.Class) ([]Dataset, error) {
 	type scored struct {
 		d Dataset
 		s float64
 	}
 	var keep []scored
 	for _, d := range Catalog() {
-		g, err := Load(d.ID)
+		g, err := load(d)
 		if err != nil {
 			return nil, err
 		}
