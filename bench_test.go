@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -521,5 +522,111 @@ func BenchmarkStoreWarmLoad(b *testing.B) {
 		if _, err := workload.LoadFrom(s, largestStandIn); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Parallel reference kernels (the internal/par fork-join runtime) ----
+
+// Reference computation sits on the critical path of every validated job
+// (the harness computes a reference output per dataset/algorithm pair),
+// so the kernels run in parallel. These benchmarks measure the speedup of
+// each parallel kernel over its sequential oracle on the largest stand-in
+// dataset at 1, 2 and GOMAXPROCS workers; outputs are bit-identical at
+// every worker count (asserted by the -race tests in internal/algorithms),
+// so the sweep measures pure scheduling efficiency.
+
+// kernelWorkerCounts is the benchmark sweep: degraded sequential, two
+// workers, and the whole machine.
+func kernelWorkerCounts() []int {
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+func BenchmarkRefKernelBFS(b *testing.B) {
+	g, params := loadBench(b, largestStandIn)
+	src, ok := g.Index(params.Source)
+	if !ok {
+		b.Fatal("benchmark source vertex missing")
+	}
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			algorithms.RefBFS(g, src)
+		}
+	})
+	for _, w := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				algorithms.ParBFS(g, src, w)
+			}
+		})
+	}
+}
+
+func BenchmarkRefKernelPageRank(b *testing.B) {
+	g, _ := loadBench(b, largestStandIn)
+	const iters, damping = 10, 0.85
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			algorithms.RefPageRank(g, iters, damping)
+		}
+	})
+	for _, w := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				algorithms.ParPageRank(g, iters, damping, w)
+			}
+		})
+	}
+}
+
+func BenchmarkRefKernelWCC(b *testing.B) {
+	g, _ := loadBench(b, largestStandIn)
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			algorithms.RefWCC(g)
+		}
+	})
+	for _, w := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				algorithms.ParWCC(g, w)
+			}
+		})
+	}
+}
+
+func BenchmarkRefKernelCDLP(b *testing.B) {
+	g, _ := loadBench(b, largestStandIn)
+	const iters = 5
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			algorithms.RefCDLP(g, iters)
+		}
+	})
+	for _, w := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				algorithms.ParCDLP(g, iters, w)
+			}
+		})
+	}
+}
+
+func BenchmarkRefKernelLCC(b *testing.B) {
+	g, _ := loadBench(b, largestStandIn)
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			algorithms.RefLCC(g)
+		}
+	})
+	for _, w := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				algorithms.ParLCC(g, w)
+			}
+		})
 	}
 }

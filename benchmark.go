@@ -38,6 +38,7 @@ func WithValidation(on bool) Option             { return core.WithValidation(on)
 func WithNetwork(n cluster.NetworkModel) Option { return core.WithNetwork(n) }
 func WithResultsDB(db *core.ResultsDB) Option   { return core.WithResultsDB(db) }
 func WithParallelism(n int) Option              { return core.WithParallelism(n) }
+func WithReferenceParallelism(n int) Option     { return core.WithReferenceParallelism(n) }
 func WithObserver(o Observer) Option            { return core.WithObserver(o) }
 
 // NetworkModel is the interconnect model distributed jobs are charged

@@ -145,7 +145,10 @@ func RunWithTimeout(platformName string, g *Graph, a Algorithm, p Params, cfg Ru
 }
 
 // Reference computes the reference output that defines correctness for an
-// algorithm on a graph.
+// algorithm on a graph. Reference kernels run in parallel on the shared
+// internal fork-join runtime with automatic worker sizing; the output is
+// bit-identical to the sequential reference at any worker count (see
+// WithReferenceParallelism to pin the worker count on a Session).
 func Reference(g *Graph, a Algorithm, p Params) (*Output, error) {
 	return algorithms.RunReference(g, a, p)
 }

@@ -13,6 +13,12 @@ import (
 // one line per vertex — "<vertexID> <value>" — ordered by vertex
 // identifier. Unreachable BFS vertices carry MaxInt64 and unreachable
 // SSSP vertices the literal "infinity", following the reference drivers.
+//
+// +Inf is the only non-finite value with a representation: no algorithm
+// legitimately produces NaN or -Inf, and strconv would serialize them to
+// tokens ReadOutput does not round-trip, so both WriteOutput and
+// ReadOutput reject them with a clear error instead of letting a
+// corrupted value slip through the write→read cycle asymmetrically.
 
 // infinityToken is the SSSP unreachable marker in output files.
 const infinityToken = "infinity"
@@ -30,6 +36,8 @@ func WriteOutput(w io.Writer, ids []int64, out *Output) error {
 			value = strconv.FormatInt(out.Int[v], 10)
 		} else if math.IsInf(out.Float[v], 1) {
 			value = infinityToken
+		} else if f := out.Float[v]; math.IsNaN(f) || math.IsInf(f, -1) {
+			return fmt.Errorf("algorithms: vertex %d: value %v has no output representation (only +Inf is serializable as %q)", id, f, infinityToken)
 		} else {
 			value = strconv.FormatFloat(out.Float[v], 'g', -1, 64)
 		}
@@ -75,6 +83,9 @@ func ReadOutput(r io.Reader, a Algorithm) ([]int64, *Output, error) {
 				f, err = strconv.ParseFloat(fields[1], 64)
 				if err != nil {
 					return nil, nil, fmt.Errorf("algorithms: output line %d: %w", lineNo, err)
+				}
+				if math.IsNaN(f) || math.IsInf(f, -1) {
+					return nil, nil, fmt.Errorf("algorithms: output line %d: non-finite value %q (only %q is a valid non-finite marker)", lineNo, fields[1], infinityToken)
 				}
 			}
 			out.Float = append(out.Float, f)

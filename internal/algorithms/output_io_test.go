@@ -3,10 +3,13 @@ package algorithms_test
 import (
 	"bytes"
 	"math"
+	"math/rand"
+	"slices"
 	"strings"
 	"testing"
 
 	"graphalytics/internal/algorithms"
+	"graphalytics/internal/graph"
 )
 
 func TestOutputRoundTripInt(t *testing.T) {
@@ -80,5 +83,74 @@ func TestReadOutputSkipsComments(t *testing.T) {
 	}
 	if len(ids) != 1 || ids[0] != 5 || out.Int[0] != 7 {
 		t.Fatalf("parsed %v %v", ids, out.Int)
+	}
+}
+
+// TestOutputRoundTripAllAlgorithms is the write→read property test: for
+// every core algorithm, real reference output on a random graph — with
+// unreachable markers forced into the BFS and SSSP outputs via a vertex
+// the source cannot reach — must round-trip through the interchange
+// format bit for bit.
+func TestOutputRoundTripAllAlgorithms(t *testing.T) {
+	b := graph.NewBuilder(true, true)
+	b.SetOptions(graph.BuildOptions{DedupEdges: true, DropSelfLoops: true})
+	b.AddVertex(4096) // unreachable from the source
+	rng := rand.New(rand.NewSource(31))
+	const n = 64
+	for i := 0; i < n; i++ {
+		b.AddVertex(int64(i))
+	}
+	for i := 0; i < 4*n; i++ {
+		b.AddWeightedEdge(int64(rng.Intn(n)), int64(rng.Intn(n)), rng.Float64()+0.01)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algorithms.All {
+		out, err := algorithms.RunReference(g, a, algorithms.Params{Source: 0, Iterations: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		var buf bytes.Buffer
+		if err := algorithms.WriteOutput(&buf, g.IDs(), out); err != nil {
+			t.Fatalf("%s: write: %v", a, err)
+		}
+		gotIDs, got, err := algorithms.ReadOutput(&buf, a)
+		if err != nil {
+			t.Fatalf("%s: read: %v", a, err)
+		}
+		if !slices.Equal(gotIDs, g.IDs()) {
+			t.Fatalf("%s: ids did not round-trip", a)
+		}
+		if !slices.Equal(got.Int, out.Int) || !slices.Equal(got.Float, out.Float) {
+			t.Fatalf("%s: values did not round-trip bit-for-bit", a)
+		}
+	}
+}
+
+// TestOutputRejectsNonFinite pins the hardening against the write/read
+// asymmetry: NaN and -Inf have no representation in the format, so both
+// directions must fail with a diagnostic instead of silently writing a
+// token the reader cannot parse back.
+func TestOutputRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(-1)} {
+		out := &algorithms.Output{Algorithm: algorithms.SSSP, Float: []float64{1.5, bad}}
+		err := algorithms.WriteOutput(&bytes.Buffer{}, []int64{1, 2}, out)
+		if err == nil || !strings.Contains(err.Error(), "vertex 2") {
+			t.Fatalf("WriteOutput(%v) err = %v, want vertex-2 diagnostic", bad, err)
+		}
+	}
+	for _, in := range []string{"1 NaN\n", "1 nan\n", "1 -inf\n", "1 -infinity\n"} {
+		if _, _, err := algorithms.ReadOutput(strings.NewReader(in), algorithms.SSSP); err == nil {
+			t.Fatalf("ReadOutput(%q) must reject non-finite values", in)
+		}
+	}
+	// The canonical +Inf spellings stay readable.
+	for _, in := range []string{"1 infinity\n", "1 inf\n"} {
+		_, got, err := algorithms.ReadOutput(strings.NewReader(in), algorithms.SSSP)
+		if err != nil || !math.IsInf(got.Float[0], 1) {
+			t.Fatalf("ReadOutput(%q) = %v, %v; want +Inf", in, got, err)
+		}
 	}
 }

@@ -1,0 +1,125 @@
+package algorithms_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"slices"
+	"testing"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/graph"
+)
+
+// kernelGraph builds a random graph big enough to split into many chunks,
+// with hubs, dangling vertices and isolated vertices in the mix.
+func kernelGraph(t testing.TB, seed int64, directed, weighted bool) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const n, m = 2500, 12000
+	b := graph.NewBuilder(directed, weighted)
+	b.SetOptions(graph.BuildOptions{DedupEdges: true, DropSelfLoops: true})
+	for i := 0; i < n; i++ {
+		b.AddVertex(int64(i) * 7) // sparse external IDs
+	}
+	for i := 0; i < m; i++ {
+		src := rng.Intn(n)
+		if rng.Intn(4) == 0 {
+			src = rng.Intn(n / 50) // hub bias
+		}
+		b.AddWeightedEdge(int64(src)*7, int64(rng.Intn(n))*7, rng.Float64()+0.01)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestParallelKernelsMatchOracleBitForBit is the determinism contract of
+// the parallel reference kernels: at every worker count and GOMAXPROCS
+// setting, on directed and undirected graphs, each parallel kernel must
+// reproduce its sequential oracle exactly — including the float kernels,
+// which are compared bit for bit, not within epsilon. Run under -race this
+// also exercises the kernels' concurrent claims and reductions.
+func TestParallelKernelsMatchOracleBitForBit(t *testing.T) {
+	for _, procs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			for _, directed := range []bool{true, false} {
+				g := kernelGraph(t, 0xbeef+int64(procs), directed, false)
+				src, ok := g.Index(7)
+				if !ok {
+					t.Fatal("source vertex missing")
+				}
+				wantBFS := algorithms.RefBFS(g, src)
+				wantPR := algorithms.RefPageRank(g, 10, 0.85)
+				wantWCC := algorithms.RefWCC(g)
+				wantCDLP := algorithms.RefCDLP(g, 5)
+				wantLCC := algorithms.RefLCC(g)
+				// workers=0 exercises automatic sizing under the current
+				// GOMAXPROCS; the explicit counts pin chunk geometries.
+				for _, workers := range []int{0, 1, 2, 8} {
+					name := fmt.Sprintf("directed=%v/workers=%d", directed, workers)
+					if got := algorithms.ParBFS(g, src, workers); !slices.Equal(got, wantBFS) {
+						t.Errorf("%s: ParBFS differs from RefBFS", name)
+					}
+					if got := algorithms.ParPageRank(g, 10, 0.85, workers); !slices.Equal(got, wantPR) {
+						t.Errorf("%s: ParPageRank not bit-identical to RefPageRank", name)
+					}
+					if got := algorithms.ParWCC(g, workers); !slices.Equal(got, wantWCC) {
+						t.Errorf("%s: ParWCC differs from RefWCC", name)
+					}
+					if got := algorithms.ParCDLP(g, 5, workers); !slices.Equal(got, wantCDLP) {
+						t.Errorf("%s: ParCDLP differs from RefCDLP", name)
+					}
+					if got := algorithms.ParLCC(g, workers); !slices.Equal(got, wantLCC) {
+						t.Errorf("%s: ParLCC not bit-identical to RefLCC", name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunReferenceWorkersMatchesSequential pins the dispatch path the
+// session's reference cache uses: RunReferenceWorkers at any pinned count
+// must equal RunReference's automatic sizing for all six algorithms.
+func TestRunReferenceWorkersMatchesSequential(t *testing.T) {
+	g := kernelGraph(t, 0x5eed, true, true)
+	params := algorithms.Params{Source: 7, Iterations: 5}
+	for _, a := range algorithms.All {
+		auto, err := algorithms.RunReference(g, a, params)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		for _, workers := range []int{1, 3} {
+			pinned, err := algorithms.RunReferenceWorkers(g, a, params, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", a, workers, err)
+			}
+			if !slices.Equal(auto.Int, pinned.Int) || !slices.Equal(auto.Float, pinned.Float) {
+				t.Errorf("%s: workers=%d output differs from automatic sizing", a, workers)
+			}
+		}
+	}
+}
+
+// TestParBFSUnreachable checks that vertices outside the reachable set
+// keep the Unreachable marker on the parallel path.
+func TestParBFSUnreachable(t *testing.T) {
+	b := graph.NewBuilder(true, false)
+	b.AddVertex(99) // isolated
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.Index(1)
+	depth := algorithms.ParBFS(g, src, 4)
+	iso, _ := g.Index(99)
+	if depth[iso] != algorithms.Unreachable {
+		t.Fatalf("isolated vertex depth = %d, want Unreachable", depth[iso])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"graphalytics/internal/graph"
+	"graphalytics/internal/par"
 )
 
 // RefBFS computes, for every vertex, the minimum number of hops required to
@@ -40,6 +41,10 @@ func RefBFS(g *graph.Graph, source int32) []int64 {
 //
 // where D is the total rank mass of dangling vertices (outdeg = 0), which
 // is redistributed uniformly. Rank mass is conserved across iterations.
+//
+// The dangling mass is summed over fixed par.SumBlock-sized blocks — the
+// fixed reduction tree of the determinism contract (see internal/par) —
+// so ParPageRank reproduces this kernel bit for bit at any worker count.
 func RefPageRank(g *graph.Graph, iterations int, damping float64) []float64 {
 	n := g.NumVertices()
 	if n == 0 {
@@ -53,10 +58,15 @@ func RefPageRank(g *graph.Graph, iterations int, damping float64) []float64 {
 	}
 	for it := 0; it < iterations; it++ {
 		var dangling float64
-		for v := 0; v < n; v++ {
-			if g.OutDegree(int32(v)) == 0 {
-				dangling += rank[v]
+		for blo := 0; blo < n; blo += par.SumBlock {
+			bhi := min(blo+par.SumBlock, n)
+			var d float64
+			for v := blo; v < bhi; v++ {
+				if g.OutDegree(int32(v)) == 0 {
+					d += rank[v]
+				}
 			}
+			dangling += d
 		}
 		base := (1-damping)*inv + damping*dangling*inv
 		for v := int32(0); v < int32(n); v++ {

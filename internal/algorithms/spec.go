@@ -1,7 +1,11 @@
 // Package algorithms defines the six core Graphalytics algorithms — BFS,
 // PageRank, weakly connected components, community detection by label
 // propagation, local clustering coefficient, and single-source shortest
-// paths — together with sequential reference implementations.
+// paths — together with reference implementations in two forms: the
+// sequential oracles (Ref*) in reference.go, and parallel kernels (Par*)
+// on the shared internal/par runtime that reproduce the oracles bit for
+// bit at any worker count (parallel.go; the oracle remains the arbiter in
+// tests).
 //
 // The algorithm definitions are abstract (Section 2.2.3 of the paper):
 // platforms may implement them any way they like, and correctness is
@@ -114,9 +118,20 @@ var (
 	ErrNeedsWeights = errors.New("algorithms: SSSP requires a weighted graph")
 )
 
-// RunReference executes the sequential reference implementation of a on g
-// and returns the reference output used for validating platform results.
+// RunReference executes the reference implementation of a on g and
+// returns the reference output used for validating platform results.
+// Kernels run on the shared parallel runtime with automatic worker
+// sizing; outputs are bit-identical to the sequential oracles (Ref*) at
+// any worker count. Use RunReferenceWorkers to pin the worker count.
 func RunReference(g *graph.Graph, a Algorithm, p Params) (*Output, error) {
+	return RunReferenceWorkers(g, a, p, 0)
+}
+
+// RunReferenceWorkers is RunReference with an explicit worker count;
+// workers <= 0 sizes the pool automatically from the graph. SSSP always
+// runs the sequential Dijkstra reference: its priority order is
+// inherently sequential and has no parallel variant.
+func RunReferenceWorkers(g *graph.Graph, a Algorithm, p Params, workers int) (*Output, error) {
 	p = p.WithDefaults(a)
 	switch a {
 	case BFS:
@@ -124,15 +139,15 @@ func RunReference(g *graph.Graph, a Algorithm, p Params) (*Output, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: %d", ErrSourceNotFound, p.Source)
 		}
-		return &Output{Algorithm: BFS, Int: RefBFS(g, src)}, nil
+		return &Output{Algorithm: BFS, Int: ParBFS(g, src, workers)}, nil
 	case PR:
-		return &Output{Algorithm: PR, Float: RefPageRank(g, p.Iterations, p.Damping)}, nil
+		return &Output{Algorithm: PR, Float: ParPageRank(g, p.Iterations, p.Damping, workers)}, nil
 	case WCC:
-		return &Output{Algorithm: WCC, Int: RefWCC(g)}, nil
+		return &Output{Algorithm: WCC, Int: ParWCC(g, workers)}, nil
 	case CDLP:
-		return &Output{Algorithm: CDLP, Int: RefCDLP(g, p.Iterations)}, nil
+		return &Output{Algorithm: CDLP, Int: ParCDLP(g, p.Iterations, workers)}, nil
 	case LCC:
-		return &Output{Algorithm: LCC, Float: RefLCC(g)}, nil
+		return &Output{Algorithm: LCC, Float: ParLCC(g, workers)}, nil
 	case SSSP:
 		if !g.Weighted() {
 			return nil, ErrNeedsWeights

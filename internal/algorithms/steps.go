@@ -1,0 +1,121 @@
+package algorithms
+
+import (
+	"sync/atomic"
+
+	"graphalytics/internal/graph"
+)
+
+// Kernel steps: the per-chunk bodies of the parallel reference kernels,
+// exported so engines can reuse them under their own chunking. The
+// parallel kernels in parallel.go run these under par.Chunks; the native
+// engine runs the same functions under its simulated thread pool
+// (cluster.Threads), so both execute one shared, well-tested kernel body.
+//
+// Every step is safe to run concurrently on disjoint [lo, hi) ranges of
+// the same output arrays. Steps that may touch shared state across chunks
+// (BFSExpand's depth claims) use atomics; everything else writes only
+// inside its own range.
+
+// BFSExpand scans a slice of the current BFS frontier and claims every
+// still-unreached out-neighbor at the given level, returning the claimed
+// vertices in scan order. Claims are atomic compare-and-swaps on the depth
+// array, so concurrent chunks never claim a vertex twice, and the depth
+// value written is the same regardless of which chunk wins. The cheap
+// atomic load filters out already-visited neighbors (the vast majority of
+// edge traversals) before paying for a CAS, so the per-edge cost stays
+// close to the sequential kernel's plain compare.
+func BFSExpand(g *graph.Graph, depth []int64, frontier []int32, level int64) []int32 {
+	var next []int32
+	for _, v := range frontier {
+		for _, u := range g.OutNeighbors(v) {
+			if atomic.LoadInt64(&depth[u]) == Unreachable &&
+				atomic.CompareAndSwapInt64(&depth[u], Unreachable, level) {
+				next = append(next, u)
+			}
+		}
+	}
+	return next
+}
+
+// PRContribRange fills contrib[v] = rank[v]/outdeg(v) for v in [lo, hi)
+// (zero for dangling vertices) and returns the range's dangling rank mass,
+// accumulated left to right — the block partial of the fixed reduction
+// tree the PageRank kernels sum dangling mass with.
+func PRContribRange(g *graph.Graph, rank, contrib []float64, lo, hi int) float64 {
+	var dangling float64
+	for v := lo; v < hi; v++ {
+		if deg := g.OutDegree(int32(v)); deg == 0 {
+			dangling += rank[v]
+			contrib[v] = 0
+		} else {
+			contrib[v] = rank[v] / float64(deg)
+		}
+	}
+	return dangling
+}
+
+// PRPullRange computes next[v] = base + damping * sum of contrib over v's
+// in-neighbors for v in [lo, hi). The per-vertex sum follows in-neighbor
+// order, so the result does not depend on how vertices are chunked.
+func PRPullRange(g *graph.Graph, contrib, next []float64, base, damping float64, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		sum := 0.0
+		for _, u := range g.InNeighbors(int32(v)) {
+			sum += contrib[u]
+		}
+		next[v] = base + damping*sum
+	}
+}
+
+// CDLPRange runs one synchronous label-propagation step for v in [lo, hi):
+// next[v] becomes the most frequent label among v's neighbors (counting a
+// neighbor on both an in- and an out-edge twice in directed graphs),
+// smallest label on ties. The histogram is chunk-private.
+func CDLPRange(g *graph.Graph, labels, next []int64, lo, hi int) {
+	counts := make(map[int64]int, 16)
+	for v := lo; v < hi; v++ {
+		clear(counts)
+		for _, u := range g.OutNeighbors(int32(v)) {
+			counts[labels[u]]++
+		}
+		if g.Directed() {
+			for _, u := range g.InNeighbors(int32(v)) {
+				counts[labels[u]]++
+			}
+		}
+		next[v] = pickLabel(counts, labels[v])
+	}
+}
+
+// LCCRange computes local clustering coefficients for v in [lo, hi) into
+// out, with chunk-private mark and neighborhood buffers. The neighborhood
+// is the union of in- and out-neighbors; each direction between two
+// neighbors counts separately (see RefLCC).
+func LCCRange(g *graph.Graph, out []float64, lo, hi int) {
+	mark := make([]int32, g.NumVertices())
+	for i := range mark {
+		mark[i] = -1
+	}
+	var hood []int32
+	for v := lo; v < hi; v++ {
+		hood = neighborhood(g, int32(v), hood[:0])
+		d := len(hood)
+		if d < 2 {
+			out[v] = 0
+			continue
+		}
+		for _, u := range hood {
+			mark[u] = int32(v)
+		}
+		arcs := 0
+		for _, u := range hood {
+			for _, w := range g.OutNeighbors(u) {
+				if w != int32(v) && mark[w] == int32(v) {
+					arcs++
+				}
+			}
+		}
+		out[v] = float64(arcs) / (float64(d) * float64(d-1))
+	}
+}

@@ -1,6 +1,10 @@
 package cluster
 
-import "time"
+import (
+	"time"
+
+	"graphalytics/internal/par"
+)
 
 // Threads simulates a machine's thread pool. The reproduction may run on
 // hosts with a single core (as this one's calibration environment does),
@@ -49,10 +53,12 @@ func (t *Threads) ChunksIndexed(n int, fn func(worker, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
+	// Chunk geometry is shared with the real parallel runtime
+	// (par.ChunkRange), so a simulated thread and a par worker with the
+	// same (n, p, w) always see the same index range.
 	var seqTotal, maxChunk time.Duration
 	for w := 0; w < threads; w++ {
-		lo := w * n / threads
-		hi := (w + 1) * n / threads
+		lo, hi := par.ChunkRange(n, threads, w)
 		start := time.Now()
 		fn(w, lo, hi)
 		d := time.Since(start)

@@ -21,6 +21,20 @@ func threadsOf(t *testing.T, count int, use func(th *cluster.Threads)) time.Dura
 	return c.SimulatedTime()
 }
 
+// minSimTime measures a round several times and keeps the fastest: the
+// timing tests share the host with other package test binaries, and the
+// minimum filters out runs inflated by descheduling.
+func minSimTime(t *testing.T, count int, use func(th *cluster.Threads)) time.Duration {
+	t.Helper()
+	best := threadsOf(t, count, use)
+	for i := 0; i < 2; i++ {
+		if d := threadsOf(t, count, use); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
 func TestThreadsCoversRange(t *testing.T) {
 	for _, count := range []int{1, 3, 8} {
 		seen := make([]int, 100)
@@ -90,8 +104,8 @@ func TestThreadsDiscountReducesSimulatedTime(t *testing.T) {
 			}
 		})
 	}
-	serial := threadsOf(t, 1, burn)
-	parallel := threadsOf(t, 8, burn)
+	serial := minSimTime(t, 1, burn)
+	parallel := minSimTime(t, 8, burn)
 	if parallel >= serial {
 		t.Fatalf("8 simulated threads (%v) not faster than 1 (%v)", parallel, serial)
 	}
@@ -111,8 +125,8 @@ func TestThreadsSequentialWorkNotDiscounted(t *testing.T) {
 		}
 		_ = x
 	}
-	serial := threadsOf(t, 1, burnSequential)
-	parallel := threadsOf(t, 8, burnSequential)
+	serial := minSimTime(t, 1, burnSequential)
+	parallel := minSimTime(t, 8, burnSequential)
 	ratio := float64(serial) / float64(parallel)
 	if ratio > 2 || ratio < 0.5 {
 		t.Fatalf("sequential work changed by %vx across thread budgets", ratio)

@@ -40,6 +40,7 @@ type config struct {
 	net         cluster.NetworkModel
 	db          *ResultsDB
 	parallelism int
+	refWorkers  int
 	observer    Observer
 	store       *graphstore.Store
 	cacheDir    string
@@ -91,6 +92,14 @@ func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n 
 // phases, dataset materializations) to o. The session serializes Observe
 // calls.
 func WithObserver(o Observer) Option { return func(c *config) { c.observer = o } }
+
+// WithReferenceParallelism pins the worker count of the parallel reference
+// kernels the session validates against (see algorithms.RunReferenceWorkers).
+// The default (n <= 0) sizes workers automatically from each graph; the
+// reference output is bit-identical either way, so this is purely a
+// resource knob — e.g. n = 1 keeps reference computation off the other
+// cores while measured jobs run.
+func WithReferenceParallelism(n int) Option { return func(c *config) { c.refWorkers = n } }
 
 // WithGraphStore routes the session's dataset materialization through st:
 // jobs, experiments and reference computations all load graphs from it.
@@ -194,12 +203,15 @@ func newRefCache() *refCache {
 
 // get returns the reference output for a dataset/algorithm pair, computing
 // it at most once per cache regardless of concurrency. load materializes
-// the dataset's graph (sessions pass their store-backed loader). The
-// context only gates starting a new computation: an existing entry is
-// cached or in flight and is always used, so a job that finished execution
-// does not lose its validation to a late cancellation, and a computation
-// in flight is never abandoned since other jobs may be waiting on it.
-func (c *refCache) get(ctx context.Context, d workload.Dataset, a algorithms.Algorithm, load func(workload.Dataset) (*graph.Graph, error)) (*algorithms.Output, error) {
+// the dataset's graph (sessions pass their store-backed loader) and
+// workers sizes the parallel reference kernels (<= 0 auto; the output is
+// worker-count-independent, so cached entries are shareable across
+// sessions with different settings). The context only gates starting a
+// new computation: an existing entry is cached or in flight and is always
+// used, so a job that finished execution does not lose its validation to
+// a late cancellation, and a computation in flight is never abandoned
+// since other jobs may be waiting on it.
+func (c *refCache) get(ctx context.Context, d workload.Dataset, a algorithms.Algorithm, workers int, load func(workload.Dataset) (*graph.Graph, error)) (*algorithms.Output, error) {
 	key := d.ID + "/" + string(a)
 	c.mu.Lock()
 	e := c.entries[key]
@@ -219,7 +231,7 @@ func (c *refCache) get(ctx context.Context, d workload.Dataset, a algorithms.Alg
 			e.err = err
 			return
 		}
-		e.out, e.err = algorithms.RunReference(g, a, d.Params)
+		e.out, e.err = algorithms.RunReferenceWorkers(g, a, d.Params, workers)
 	})
 	return e.out, e.err
 }
@@ -351,7 +363,7 @@ func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos) (res 
 	if s.cfg.validate {
 		// Validation is harness work outside the SLA window, so it runs
 		// under the caller's context, not the job deadline.
-		want, rerr := s.refs.get(ctx, d, spec.Algorithm, s.loadGraph)
+		want, rerr := s.refs.get(ctx, d, spec.Algorithm, s.cfg.refWorkers, s.loadGraph)
 		if rerr != nil {
 			if ctx.Err() != nil {
 				res.Status, res.Error = StatusCanceled, rerr.Error()

@@ -404,3 +404,23 @@ func TestSessionRunDescription(t *testing.T) {
 		}
 	}
 }
+
+// TestWithReferenceParallelism pins the reference kernels' worker count
+// and checks validation still passes: reference outputs are defined to be
+// worker-count-independent, so a pinned pool must validate identically to
+// automatic sizing.
+func TestWithReferenceParallelism(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := core.NewSession(core.WithReferenceParallelism(workers))
+		res, err := s.RunJob(context.Background(), core.JobSpec{
+			Platform: "native", Dataset: "R1", Algorithm: algorithms.PR, Threads: 2, Machines: 1,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Status != core.StatusOK || !res.Validated || !res.ValidationOK {
+			t.Fatalf("workers=%d: status=%s validated=%v ok=%v (%s)",
+				workers, res.Status, res.Validated, res.ValidationOK, res.Error)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+
+	"graphalytics/internal/par"
 )
 
 // Build errors reported by Builder.Build for inputs that violate the
@@ -112,9 +114,9 @@ func (b *Builder) Build() (*Graph, error) {
 	if b.weighted {
 		ws = make([]float64, m)
 	}
-	p := workers(m)
+	p := par.Workers(m)
 	terrs := make([]error, p)
-	parallelChunks(m, p, func(w, lo, hi int) {
+	par.Chunks(m, p, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := b.edges[i]
 			s, d := index[e.Src], index[e.Dst]
@@ -177,12 +179,16 @@ func firstError(errs []error) error {
 func (b *Builder) buildCSR(ids []int64, keys, vals []int32, w []float64, both bool) ([]int64, []int32, []float64, error) {
 	n := len(ids)
 	m := len(keys)
-	p := workers(m)
+	p := par.Workers(m)
 
-	// Count degrees per worker chunk.
+	// Count degrees per worker chunk. Rows are allocated up front because
+	// par.Chunks skips workers whose chunk is empty.
 	counts := make([][]int32, p)
-	parallelChunks(m, p, func(wk, lo, hi int) {
-		c := make([]int32, n)
+	for wk := range counts {
+		counts[wk] = make([]int32, n)
+	}
+	par.Chunks(m, p, func(wk, lo, hi int) {
+		c := counts[wk]
 		for i := lo; i < hi; i++ {
 			k := keys[i]
 			if k < 0 {
@@ -193,13 +199,12 @@ func (b *Builder) buildCSR(ids []int64, keys, vals []int32, w []float64, both bo
 				c[vals[i]]++
 			}
 		}
-		counts[wk] = c
 	})
 
 	// Exclusive prefix across workers per vertex turns counts into each
 	// worker's scatter base; the per-vertex totals become CSR offsets.
 	off := make([]int64, n+1)
-	parallelChunks(n, p, func(_, lo, hi int) {
+	par.Chunks(n, p, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			var base int32
 			for wk := 0; wk < p; wk++ {
@@ -224,7 +229,7 @@ func (b *Builder) buildCSR(ids []int64, keys, vals []int32, w []float64, both bo
 	// Stable scatter: each worker walks its chunk in order and places arcs
 	// at its pre-computed cursor, so per-vertex insertion order holds
 	// globally.
-	parallelChunks(m, p, func(wk, lo, hi int) {
+	par.Chunks(m, p, func(wk, lo, hi int) {
 		c := counts[wk]
 		put := func(k, v int32, wt float64) {
 			pos := off[k] + int64(c[k])
@@ -258,7 +263,7 @@ func (b *Builder) buildCSR(ids []int64, keys, vals []int32, w []float64, both bo
 	}
 	dupTotals := make([]int64, p)
 	serrs := make([]error, p)
-	parallelChunks(n, p, func(wk, lo, hi int) {
+	par.Chunks(n, p, func(wk, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			s, e := off[v], off[v+1]
 			seg := adj[s:e]
@@ -310,7 +315,7 @@ func (b *Builder) buildCSR(ids []int64, keys, vals []int32, w []float64, both bo
 	if ows != nil {
 		nws = make([]float64, noff[n])
 	}
-	parallelChunks(n, p, func(_, lo, hi int) {
+	par.Chunks(n, p, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			out := noff[v]
 			for i := off[v]; i < off[v+1]; i++ {
@@ -336,7 +341,7 @@ func (b *Builder) collectIDs() []int64 {
 	for _, e := range b.edges {
 		all = append(all, e.Src, e.Dst)
 	}
-	all = sortInt64s(all)
+	all = par.SortInt64s(all)
 	uniq := all[:0]
 	for i, id := range all {
 		if i == 0 || id != all[i-1] {

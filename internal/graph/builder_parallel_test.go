@@ -4,8 +4,9 @@ import (
 	"errors"
 	"math/rand"
 	"runtime"
-	"slices"
 	"testing"
+
+	"graphalytics/internal/par"
 )
 
 // forceWorkers raises GOMAXPROCS so the builder's parallel paths run
@@ -16,32 +17,13 @@ func forceWorkers(t *testing.T, n int) {
 	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
 }
 
-// TestSortInt64sParallel checks the chunked parallel sort against the
-// standard library on inputs large enough to take the parallel path.
-func TestSortInt64sParallel(t *testing.T) {
-	forceWorkers(t, 4)
-	for _, n := range []int{0, 1, 100, minParallelGrain, 3*minParallelGrain + 17, 20 * minParallelGrain} {
-		rng := rand.New(rand.NewSource(int64(n)))
-		a := make([]int64, n)
-		for i := range a {
-			a[i] = rng.Int63n(int64(n/2 + 1))
-		}
-		want := append([]int64(nil), a...)
-		slices.Sort(want)
-		got := sortInt64s(a)
-		if !slices.Equal(got, want) {
-			t.Fatalf("n=%d: parallel sort disagrees with slices.Sort", n)
-		}
-	}
-}
-
 // TestBuildMatchesReferenceLarge cross-checks the parallel counting-sort
 // build against a naive map-based construction on inputs large enough to
 // engage multiple workers, across the directed × weighted matrix, with
 // duplicates, self-loops and isolated vertices in the mix.
 func TestBuildMatchesReferenceLarge(t *testing.T) {
 	forceWorkers(t, 4)
-	const nVerts, nEdges = 3000, 8 * minParallelGrain
+	const nVerts, nEdges = 3000, 8 * par.MinGrain
 	for _, directed := range []bool{true, false} {
 		for _, weighted := range []bool{true, false} {
 			rng := rand.New(rand.NewSource(7))
@@ -135,7 +117,7 @@ func TestBuildStrictErrorsOnParallelPath(t *testing.T) {
 	forceWorkers(t, 4)
 	mk := func() *Builder {
 		b := NewBuilder(true, false)
-		for i := 0; i < 4*minParallelGrain; i++ {
+		for i := 0; i < 4*par.MinGrain; i++ {
 			b.AddEdge(int64(i), int64(i+1))
 		}
 		return b

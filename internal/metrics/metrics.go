@@ -108,7 +108,9 @@ func Speedup(baseline, scaled time.Duration) float64 {
 	return baseline.Seconds() / scaled.Seconds()
 }
 
-// Mean returns the arithmetic mean of the sample durations.
+// Mean returns the arithmetic mean of the sample durations, rounded to
+// the nearest nanosecond (integer division would truncate toward zero,
+// biasing repeated-run means low by up to one unit).
 func Mean(samples []time.Duration) time.Duration {
 	if len(samples) == 0 {
 		return 0
@@ -117,7 +119,11 @@ func Mean(samples []time.Duration) time.Duration {
 	for _, s := range samples {
 		sum += s
 	}
-	return sum / time.Duration(len(samples))
+	n := time.Duration(len(samples))
+	if sum >= 0 {
+		return (sum + n/2) / n
+	}
+	return (sum - n/2) / n
 }
 
 // CV returns the coefficient of variation of the samples: the ratio between

@@ -154,3 +154,41 @@ func TestCVScaleIndependenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestClassOfExactBoundaries pins the half-open interval semantics of
+// Table 2 at the outermost edges: a scale of exactly 7.0 is already XS
+// (2XS is scale < 7), and exactly 9.5 is already 2XL (XL ends below 9.5).
+func TestClassOfExactBoundaries(t *testing.T) {
+	if got := metrics.ClassOf(7.0); got != metrics.ClassXS {
+		t.Errorf("ClassOf(7.0) = %s, want XS (boundary is inclusive on the upper class)", got)
+	}
+	if got := metrics.ClassOf(9.5); got != metrics.Class2XL {
+		t.Errorf("ClassOf(9.5) = %s, want 2XL (boundary is inclusive on the upper class)", got)
+	}
+	if got := metrics.ClassOf(math.Nextafter(7.0, 0)); got != metrics.Class2XS {
+		t.Errorf("ClassOf(just below 7.0) = %s, want 2XS", got)
+	}
+	if got := metrics.ClassOf(math.Nextafter(9.5, 0)); got != metrics.ClassXL {
+		t.Errorf("ClassOf(just below 9.5) = %s, want XL", got)
+	}
+}
+
+// TestMeanRoundsToNearest is the regression test for the integer-division
+// truncation: means must round to the nearest duration, not toward zero.
+func TestMeanRoundsToNearest(t *testing.T) {
+	cases := []struct {
+		samples []time.Duration
+		want    time.Duration
+	}{
+		{[]time.Duration{1, 2}, 2},    // 1.5 rounds up, truncation gave 1
+		{[]time.Duration{1, 1, 2}, 1}, // 1.33 rounds down
+		{[]time.Duration{2, 3, 3}, 3}, // 2.67 rounds up, truncation gave 2
+		{[]time.Duration{-1, -2}, -2}, // -1.5 rounds away from zero
+		{[]time.Duration{0, time.Second}, 500 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := metrics.Mean(tc.samples); got != tc.want {
+			t.Errorf("Mean(%v) = %d, want %d", tc.samples, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package par is the repository's shared deterministic fork-join runtime.
+// It grew out of the graph builder's private helpers and now backs every
+// parallel hot path on the harness side: the CSR builder, the parallel
+// reference kernels, and the simulated thread pool's chunk geometry.
+//
+// The package's contract is determinism: for a fixed input, every exported
+// function produces bit-identical results at any worker count, including
+// one. Three rules make that hold:
+//
+//   - Stable chunking. ChunkRange(n, p, w) is a pure function of (n, p, w),
+//     so chunk w always covers the same index range for the same split.
+//   - Ordered reduction. Accumulate returns per-worker values indexed by
+//     chunk, and callers combine them in chunk order, never in completion
+//     order.
+//   - Fixed reduction tree. SumBlocked splits a floating-point sum into
+//     fixed-size blocks whose boundaries do not depend on the worker
+//     count, then adds the per-block partial sums in block order. The
+//     result is the same at p=1 and p=64, which is what lets a parallel
+//     kernel be validated bit-for-bit against a sequential oracle.
+package par
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// MinGrain is the smallest per-worker share of work units worth a
+// goroutine; below it the coordination costs more than it saves.
+const MinGrain = 1 << 13
+
+// SumBlock is the fixed block length of SumBlocked's reduction tree. It is
+// a property of the *computation*, not of the worker count: changing it
+// changes the low bits of blocked float sums, so sequential oracles that
+// mirror SumBlocked (see algorithms.RefPageRank) use this constant too.
+const SumBlock = 1 << 12
+
+// Workers returns how many workers to use for work units of roughly
+// uniform cost: GOMAXPROCS, capped so every worker gets at least MinGrain
+// units. Graph kernels pass |V|+|E| as the work estimate.
+func Workers(work int) int {
+	p := runtime.GOMAXPROCS(0)
+	if max := work / MinGrain; p > max {
+		p = max
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Resolve settles an explicit worker request against the work size:
+// p <= 0 selects Workers(work) (auto), anything else is honored as-is so
+// benchmarks and tests can pin exact worker counts, but never below 1.
+func Resolve(p, work int) int {
+	if p <= 0 {
+		return Workers(work)
+	}
+	return p
+}
+
+// ChunkRange returns the w-th of p near-equal half-open chunks of [0, n).
+// It is a pure function of its arguments: the same (n, p, w) always maps
+// to the same range, which ordered reductions and the builder's
+// counting-sort scatter rely on.
+func ChunkRange(n, p, w int) (lo, hi int) {
+	lo = w * n / p
+	hi = (w + 1) * n / p
+	return lo, hi
+}
+
+// Chunks splits [0, n) into p stable chunks and runs fn(worker, lo, hi)
+// for each, concurrently when p > 1. Empty chunks (p > n) are skipped but
+// worker indices stay aligned with chunk indices — even when p > 1 and
+// only one chunk is non-empty, that chunk keeps its own index so ordered
+// reductions attribute it correctly. Chunks returns when all workers have
+// finished (fork-join).
+func Chunks(n, p int, fn func(worker, lo, hi int)) {
+	if p <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo, hi := ChunkRange(n, p, w)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Accumulate runs fn over p stable chunks of [0, n) and returns the
+// per-worker results indexed by chunk, so callers reduce them in chunk
+// order regardless of which worker finished first. Workers whose chunk is
+// empty contribute the zero value.
+func Accumulate[T any](n, p int, fn func(worker, lo, hi int) T) []T {
+	out := make([]T, p)
+	Chunks(n, p, func(w, lo, hi int) {
+		out[w] = fn(w, lo, hi)
+	})
+	return out
+}
+
+// SumBlocked computes a float64 sum over [0, n) with a fixed reduction
+// tree: the range is cut into SumBlock-sized blocks, sum(lo, hi) produces
+// each block's partial (accumulating left to right within the block), and
+// the partials are added in block order. Block boundaries are independent
+// of p, so the result is bit-identical at every worker count — the
+// determinism contract parallel float kernels are validated under.
+func SumBlocked(n, p int, sum func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	blocks := (n + SumBlock - 1) / SumBlock
+	if p <= 1 || blocks == 1 {
+		var total float64
+		for b := 0; b < blocks; b++ {
+			lo := b * SumBlock
+			hi := min(lo+SumBlock, n)
+			total += sum(lo, hi)
+		}
+		return total
+	}
+	parts := make([]float64, blocks)
+	Chunks(blocks, p, func(_, blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * SumBlock
+			hi := min(lo+SumBlock, n)
+			parts[b] = sum(lo, hi)
+		}
+	})
+	var total float64
+	for _, s := range parts {
+		total += s
+	}
+	return total
+}
+
+// SortInt64s sorts a ascending and returns the sorted slice, which may be
+// a (possibly different) buffer than the input: large inputs are sorted as
+// parallel chunks and merged level by level between two buffers.
+func SortInt64s(a []int64) []int64 {
+	p := Workers(len(a))
+	if p == 1 {
+		slices.Sort(a)
+		return a
+	}
+	// Sort p chunks in parallel, then merge pairs of runs — also in
+	// parallel — until one run remains.
+	// Run boundaries are the same chunk geometry the parallel sort uses,
+	// so every run the merge sees was sorted as one piece.
+	bounds := make([]int, p+1)
+	for w := 0; w < p; w++ {
+		bounds[w], _ = ChunkRange(len(a), p, w)
+	}
+	bounds[p] = len(a)
+	Chunks(len(a), p, func(_, lo, hi int) { slices.Sort(a[lo:hi]) })
+
+	buf := make([]int64, len(a))
+	for len(bounds) > 2 {
+		next := []int{bounds[0]}
+		var wg sync.WaitGroup
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mergeInt64s(buf[lo:hi], a[lo:mid], a[mid:hi])
+			}()
+			next = append(next, hi)
+		}
+		if i+1 < len(bounds) {
+			// Odd run out: carry it into the next level unmerged.
+			lo, hi := bounds[i], bounds[i+1]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				copy(buf[lo:hi], a[lo:hi])
+			}()
+			next = append(next, hi)
+		}
+		wg.Wait()
+		a, buf = buf, a
+		bounds = next
+	}
+	return a
+}
+
+// mergeInt64s merges two sorted runs into dst; len(dst) == len(x)+len(y).
+func mergeInt64s(dst, x, y []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i] <= y[j] {
+			dst[k] = x[i]
+			i++
+		} else {
+			dst[k] = y[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], x[i:])
+	copy(dst[k+len(x)-i:], y[j:])
+}

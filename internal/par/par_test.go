@@ -1,0 +1,182 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"slices"
+	"sync/atomic"
+	"testing"
+)
+
+// forceProcs raises GOMAXPROCS so parallel paths run multi-worker even on
+// single-core CI machines, restoring it afterwards.
+func forceProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestWorkers(t *testing.T) {
+	forceProcs(t, 8)
+	cases := []struct{ work, want int }{
+		{0, 1},
+		{1, 1},
+		{MinGrain - 1, 1},
+		{2 * MinGrain, 2},
+		{100 * MinGrain, 8}, // capped by GOMAXPROCS
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.work); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.work, got, tc.want)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	forceProcs(t, 8)
+	if got := Resolve(0, 100*MinGrain); got != 8 {
+		t.Errorf("Resolve(0, big) = %d, want 8", got)
+	}
+	if got := Resolve(3, 10); got != 3 {
+		t.Errorf("explicit workers must be honored: got %d, want 3", got)
+	}
+	if got := Resolve(-1, 10); got != 1 {
+		t.Errorf("Resolve(-1, small) = %d, want 1", got)
+	}
+}
+
+func TestChunkRangeCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 1001} {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			covered := 0
+			prevHi := 0
+			for w := 0; w < p; w++ {
+				lo, hi := ChunkRange(n, p, w)
+				if lo != prevHi {
+					t.Fatalf("n=%d p=%d w=%d: chunk starts at %d, want %d", n, p, w, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n || prevHi != n {
+				t.Fatalf("n=%d p=%d: chunks cover %d ending at %d", n, p, covered, prevHi)
+			}
+		}
+	}
+}
+
+func TestChunksVisitsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 9} {
+		const n = 1000
+		seen := make([]int32, n)
+		Chunks(n, p, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++ // chunks are disjoint, so no data race
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("p=%d: index %d visited %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestChunksMoreWorkersThanElements(t *testing.T) {
+	var visited atomic.Int64
+	Chunks(2, 16, func(_, lo, hi int) { visited.Add(int64(hi - lo)) })
+	if visited.Load() != 2 {
+		t.Fatalf("visited %d elements, want 2", visited.Load())
+	}
+	called := false
+	Chunks(0, 4, func(_, _, _ int) { called = true })
+	if called {
+		t.Fatal("empty range must not invoke fn")
+	}
+}
+
+func TestAccumulateOrderedReduction(t *testing.T) {
+	// Each worker returns its chunk bounds; the result must be indexed by
+	// chunk, not by completion order.
+	const n = 977
+	for _, p := range []int{1, 2, 5} {
+		parts := Accumulate(n, p, func(w, lo, hi int) [2]int { return [2]int{lo, hi} })
+		if len(parts) != p {
+			t.Fatalf("p=%d: got %d parts", p, len(parts))
+		}
+		for w, part := range parts {
+			lo, hi := ChunkRange(n, p, w)
+			if lo == hi {
+				continue // empty chunk keeps the zero value
+			}
+			if part != [2]int{lo, hi} {
+				t.Fatalf("p=%d w=%d: part %v, want [%d %d]", p, w, part, lo, hi)
+			}
+		}
+	}
+}
+
+// TestSumBlockedWorkerInvariance is the determinism contract: the blocked
+// sum must be bit-identical at every worker count.
+func TestSumBlockedWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 3*SumBlock + 791
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	sum := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	want := SumBlocked(n, 1, sum)
+	for _, p := range []int{2, 3, 8, 64} {
+		if got := SumBlocked(n, p, sum); got != want {
+			t.Fatalf("p=%d: SumBlocked = %x, want %x (bit-identical)", p, got, want)
+		}
+	}
+	if got := SumBlocked(0, 4, sum); got != 0 {
+		t.Fatalf("empty sum = %v, want 0", got)
+	}
+}
+
+func TestSortInt64s(t *testing.T) {
+	forceProcs(t, 4)
+	for _, n := range []int{0, 1, 100, MinGrain, 3*MinGrain + 17, 20 * MinGrain} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = rng.Int63n(int64(n/2 + 1))
+		}
+		want := append([]int64(nil), a...)
+		slices.Sort(want)
+		got := SortInt64s(a)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: parallel sort disagrees with slices.Sort", n)
+		}
+	}
+}
+
+// TestChunksSingleElementKeepsChunkIndex pins worker/chunk alignment in
+// the degenerate case: with n=1 and p=4 the only non-empty chunk is the
+// last one, and it must be delivered under its own index, not worker 0.
+func TestChunksSingleElementKeepsChunkIndex(t *testing.T) {
+	var gotWorker atomic.Int64
+	gotWorker.Store(-1)
+	Chunks(1, 4, func(w, lo, hi int) {
+		if lo != 0 || hi != 1 {
+			t.Errorf("chunk = [%d,%d), want [0,1)", lo, hi)
+		}
+		gotWorker.Store(int64(w))
+	})
+	wantLo, wantHi := ChunkRange(1, 4, 3)
+	if wantLo != 0 || wantHi != 1 {
+		t.Fatalf("ChunkRange(1,4,3) = [%d,%d), want [0,1)", wantLo, wantHi)
+	}
+	if gotWorker.Load() != 3 {
+		t.Errorf("worker index = %d, want 3 (the owning chunk)", gotWorker.Load())
+	}
+}

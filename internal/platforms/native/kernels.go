@@ -14,7 +14,11 @@ import (
 // The native engine is single-machine, but it still runs its levels and
 // iterations through cluster.RunRound so that the simulated thread pool
 // (see cluster.Threads) models vertical scalability uniformly across all
-// engines.
+// engines. The per-chunk kernel bodies are the shared step functions of
+// the algorithms package (BFSExpand, PRContribRange, ...), the same code
+// the parallel reference kernels fan out over internal/par — the engine
+// only contributes its own chunking, round accounting and engine-specific
+// algorithms (min-label WCC, Bellman-Ford SSSP).
 
 // bfs is a level-synchronous queue-based breadth-first search: only the
 // frontier is scanned each level, so partially covered graphs cost only the
@@ -35,15 +39,7 @@ func bfs(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, source int32)
 		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
 			next = make([][]int32, th.Count())
 			th.ChunksIndexed(len(frontier), func(worker, lo, hi int) {
-				var local []int32
-				for _, v := range frontier[lo:hi] {
-					for _, u := range g.OutNeighbors(v) {
-						if atomic.CompareAndSwapInt64(&depth[u], algorithms.Unreachable, level) {
-							local = append(local, u)
-						}
-					}
-				}
-				next[worker] = local
+				next[worker] = algorithms.BFSExpand(g, depth, frontier[lo:hi], level)
 			})
 			return nil
 		}); err != nil {
@@ -78,31 +74,17 @@ func pagerank(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, iteratio
 		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
 			danglingParts := make([]float64, th.Count())
 			th.ChunksIndexed(n, func(w, lo, hi int) {
-				var d float64
-				for v := lo; v < hi; v++ {
-					deg := g.OutDegree(int32(v))
-					if deg == 0 {
-						d += rank[v]
-						contrib[v] = 0
-					} else {
-						contrib[v] = rank[v] / float64(deg)
-					}
-				}
-				danglingParts[w] += d
+				danglingParts[w] = algorithms.PRContribRange(g, rank, contrib, lo, hi)
 			})
+			// Worker-ordered reduction; the engine is validated within
+			// epsilon, so it need not mirror the reference's block tree.
 			var dangling float64
 			for _, d := range danglingParts {
 				dangling += d
 			}
 			base := (1-damping)*inv + damping*dangling*inv
 			th.Chunks(n, func(lo, hi int) {
-				for v := lo; v < hi; v++ {
-					sum := 0.0
-					for _, u := range g.InNeighbors(int32(v)) {
-						sum += contrib[u]
-					}
-					next[v] = base + damping*sum
-				}
+				algorithms.PRPullRange(g, contrib, next, base, damping, lo, hi)
 			})
 			return nil
 		}); err != nil {
@@ -189,25 +171,7 @@ func cdlp(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, iterations i
 		}
 		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
 			th.Chunks(n, func(lo, hi int) {
-				counts := make(map[int64]int, 16)
-				for v := lo; v < hi; v++ {
-					clear(counts)
-					for _, u := range g.OutNeighbors(int32(v)) {
-						counts[labels[u]]++
-					}
-					if g.Directed() {
-						for _, u := range g.InNeighbors(int32(v)) {
-							counts[labels[u]]++
-						}
-					}
-					best, bestCount := labels[v], 0
-					for l, c := range counts {
-						if c > bestCount || (c == bestCount && l < best) {
-							best, bestCount = l, c
-						}
-					}
-					next[v] = best
-				}
+				algorithms.CDLPRange(g, labels, next, lo, hi)
 			})
 			return nil
 		}); err != nil {
@@ -229,30 +193,7 @@ func lcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]float64, e
 	}
 	err := cl.RunRound(func(_ int, th *cluster.Threads) error {
 		th.Chunks(n, func(lo, hi int) {
-			mark := make([]int32, n)
-			for i := range mark {
-				mark[i] = -1
-			}
-			var hood []int32
-			for v := lo; v < hi; v++ {
-				hood = unionNeighborhood(g, int32(v), hood[:0])
-				d := len(hood)
-				if d < 2 {
-					continue
-				}
-				for _, u := range hood {
-					mark[u] = int32(v)
-				}
-				arcs := 0
-				for _, u := range hood {
-					for _, w := range g.OutNeighbors(u) {
-						if w != int32(v) && mark[w] == int32(v) {
-							arcs++
-						}
-					}
-				}
-				out[v] = float64(arcs) / (float64(d) * float64(d-1))
-			}
+			algorithms.LCCRange(g, out, lo, hi)
 		})
 		return nil
 	})
@@ -263,42 +204,6 @@ func lcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]float64, e
 		return nil, err
 	}
 	return out, nil
-}
-
-// unionNeighborhood merges the sorted in- and out-neighbor lists of v,
-// dropping duplicates and v itself.
-func unionNeighborhood(g *graph.Graph, v int32, buf []int32) []int32 {
-	out := g.OutNeighbors(v)
-	if !g.Directed() {
-		return append(buf, out...)
-	}
-	in := g.InNeighbors(v)
-	i, j := 0, 0
-	for i < len(out) || j < len(in) {
-		var next int32
-		switch {
-		case i == len(out):
-			next = in[j]
-			j++
-		case j == len(in):
-			next = out[i]
-			i++
-		case out[i] < in[j]:
-			next = out[i]
-			i++
-		case in[j] < out[i]:
-			next = in[j]
-			j++
-		default:
-			next = out[i]
-			i++
-			j++
-		}
-		if next != v {
-			buf = append(buf, next)
-		}
-	}
-	return buf
 }
 
 // sssp runs a frontier-driven parallel Bellman-Ford: each round relaxes

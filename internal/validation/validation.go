@@ -52,6 +52,11 @@ func Validate(got, want *algorithms.Output, ids []int64) Report {
 	if got == nil {
 		return Report{FirstDiff: "platform produced no output"}
 	}
+	if want == nil {
+		// A missing reference is a harness-side failure, but it must fail
+		// validation like the nil-got branch rather than panic.
+		return Report{FirstDiff: "no reference output to validate against"}
+	}
 	if got.Len() != want.Len() {
 		return Report{FirstDiff: fmt.Sprintf("output length %d, want %d", got.Len(), want.Len())}
 	}

@@ -41,6 +41,15 @@ func TestValidateStructuralMismatches(t *testing.T) {
 	if rep := validation.Validate(nil, want, nil); rep.OK {
 		t.Fatal("nil output must fail")
 	}
+	// Regression: a nil reference used to dereference want.Len() and
+	// panic; it must return a failed report like the nil-got branch.
+	got := &algorithms.Output{Algorithm: algorithms.BFS, Int: []int64{0}}
+	if rep := validation.Validate(got, nil, []int64{10}); rep.OK || rep.FirstDiff == "" || rep.Error() == nil {
+		t.Fatalf("nil reference must fail with a diagnostic, got %+v", rep)
+	}
+	if rep := validation.Validate(nil, nil, nil); rep.OK {
+		t.Fatal("nil got and nil want must fail")
+	}
 	short := &algorithms.Output{Algorithm: algorithms.BFS, Int: []int64{}}
 	if rep := validation.Validate(short, want, nil); rep.OK {
 		t.Fatal("length mismatch must fail")
