@@ -545,6 +545,51 @@ func kernelWorkerCounts() []int {
 	return counts
 }
 
+// ---- Engine message-plane benchmarks (the internal/mplane runtime) ----
+
+// engineBenchPlatforms is the Execute sweep: all six engines, single
+// machine. The spmv engine is benchmarked through its shared-memory
+// backend, the configuration the paper's single-machine experiments use.
+var engineBenchPlatforms = []string{"native", "spmv-s", "pushpull", "gas", "pregel", "dataflow"}
+
+// engineBenchAlgorithms covers the iterative message-heavy workloads the
+// message plane optimizes; LCC and SSSP are excluded to keep the sweep's
+// wall time bounded (their hot paths share the same staging and histogram
+// primitives).
+var engineBenchAlgorithms = []algorithms.Algorithm{
+	algorithms.BFS, algorithms.PR, algorithms.WCC, algorithms.CDLP,
+}
+
+// BenchmarkEngineExecute measures steady-state Execute on the largest
+// stand-in for every engine x algorithm pair. The upload is shared across
+// iterations, so after the first (warm-up) run the engines' job-lifetime
+// arenas are populated and allocs/op reflects the per-superstep residue —
+// the number the zero-allocation message plane is accountable for.
+func BenchmarkEngineExecute(b *testing.B) {
+	g, params := loadBench(b, largestStandIn)
+	for _, name := range engineBenchPlatforms {
+		p, err := platform.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		up, err := p.Upload(g, platform.RunConfig{Threads: benchThreads, Machines: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range engineBenchAlgorithms {
+			b.Run(fmt.Sprintf("%s/%s", name, a), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Execute(context.Background(), up, a, params); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		up.Free()
+	}
+}
+
 func BenchmarkRefKernelBFS(b *testing.B) {
 	g, params := loadBench(b, largestStandIn)
 	src, ok := g.Index(params.Source)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/par"
 )
 
@@ -133,36 +134,12 @@ func RefCDLP(g *graph.Graph, iterations int) []int64 {
 	for v := int32(0); v < int32(n); v++ {
 		labels[v] = g.VertexID(v)
 	}
-	counts := make(map[int64]int, 16)
+	hist := mplane.NewHistogram(16)
 	for it := 0; it < iterations; it++ {
-		for v := int32(0); v < int32(n); v++ {
-			clear(counts)
-			for _, u := range g.OutNeighbors(v) {
-				counts[labels[u]]++
-			}
-			if g.Directed() {
-				for _, u := range g.InNeighbors(v) {
-					counts[labels[u]]++
-				}
-			}
-			next[v] = pickLabel(counts, labels[v])
-		}
+		CDLPRangeHist(g, labels, next, 0, n, hist)
 		labels, next = next, labels
 	}
 	return labels
-}
-
-// pickLabel returns the most frequent label, smallest label first on ties;
-// a vertex with no neighbors keeps its own label.
-func pickLabel(counts map[int64]int, own int64) int64 {
-	best := own
-	bestCount := 0
-	for label, c := range counts {
-		if c > bestCount || (c == bestCount && label < best) {
-			best, bestCount = label, c
-		}
-	}
-	return best
 }
 
 // RefLCC computes the local clustering coefficient of every vertex: the

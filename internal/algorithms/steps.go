@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 )
 
 // Kernel steps: the per-chunk bodies of the parallel reference kernels,
@@ -71,20 +72,28 @@ func PRPullRange(g *graph.Graph, contrib, next []float64, base, damping float64,
 // CDLPRange runs one synchronous label-propagation step for v in [lo, hi):
 // next[v] becomes the most frequent label among v's neighbors (counting a
 // neighbor on both an in- and an out-edge twice in directed graphs),
-// smallest label on ties. The histogram is chunk-private.
+// smallest label on ties. The histogram is chunk-private; callers that
+// chunk sequentially (the native engine's simulated threads) reuse one
+// via CDLPRangeHist.
 func CDLPRange(g *graph.Graph, labels, next []int64, lo, hi int) {
-	counts := make(map[int64]int, 16)
+	CDLPRangeHist(g, labels, next, lo, hi, mplane.NewHistogram(16))
+}
+
+// CDLPRangeHist is CDLPRange counting into a caller-owned histogram. The
+// histogram's (highest count, smallest label) argmax is order-independent,
+// so the result is identical to the map-based fold it replaced.
+func CDLPRangeHist(g *graph.Graph, labels, next []int64, lo, hi int, h *mplane.Histogram) {
 	for v := lo; v < hi; v++ {
-		clear(counts)
+		h.Reset()
 		for _, u := range g.OutNeighbors(int32(v)) {
-			counts[labels[u]]++
+			h.Add(labels[u])
 		}
 		if g.Directed() {
 			for _, u := range g.InNeighbors(int32(v)) {
-				counts[labels[u]]++
+				h.Add(labels[u])
 			}
 		}
-		next[v] = pickLabel(counts, labels[v])
+		next[v] = h.Best(labels[v])
 	}
 }
 

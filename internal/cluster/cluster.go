@@ -215,8 +215,9 @@ func (c *Cluster) Broadcast(from int, bytesPerPeer int64) {
 // The first machine error aborts the round and is returned.
 func (c *Cluster) RunRound(fn func(machine int, th *Threads) error) error {
 	var maxCompute time.Duration
+	th := &Threads{}
 	for m := 0; m < c.cfg.Machines; m++ {
-		th := &Threads{count: c.cfg.Threads}
+		*th = Threads{count: c.cfg.Threads}
 		start := time.Now()
 		if err := fn(m, th); err != nil {
 			return fmt.Errorf("cluster: machine %d: %w", m, err)
@@ -246,6 +247,24 @@ func (c *Cluster) RunRound(fn func(machine int, th *Threads) error) error {
 	c.netTime += net
 	c.simTime += maxCompute + net
 	return nil
+}
+
+// RunBarrier executes fn — cross-machine barrier work such as delivering
+// staged messages into the next round's inboxes — and charges its
+// measured duration to simulated time as sequential barrier cost. It
+// closes no round and models no network: engines account the shuffled
+// bytes via Send from within the producing round. This keeps work that
+// structurally belongs between rounds (a global scatter cannot run
+// inside any one machine's slice of a round) inside the measured
+// processing time, where the equivalent per-machine delivery work of an
+// append-based inbox would have been.
+func (c *Cluster) RunBarrier(fn func()) {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	c.mu.Lock()
+	c.simTime += d
+	c.mu.Unlock()
 }
 
 // SimulatedTime returns the accumulated processing time of all rounds:

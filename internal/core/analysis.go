@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"graphalytics/internal/algorithms"
@@ -89,7 +90,7 @@ func Analyze(db *ResultsDB) []PlatformSummary {
 		}
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].GeoMeanSlowdown < out[j].GeoMeanSlowdown })
+	slices.SortStableFunc(out, func(a, b PlatformSummary) int { return cmp.Compare(a.GeoMeanSlowdown, b.GeoMeanSlowdown) })
 	return out
 }
 

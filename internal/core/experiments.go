@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"graphalytics/internal/algorithms"
@@ -354,7 +355,7 @@ func (s *Session) StressTest(ctx context.Context, cfg ExperimentConfig) (*Report
 		}
 		datasets = append(datasets, scored{d: d, scale: workload.Scale(g)})
 	}
-	sort.Slice(datasets, func(i, j int) bool { return datasets[i].scale < datasets[j].scale })
+	slices.SortStableFunc(datasets, func(a, b scored) int { return cmp.Compare(a.scale, b.scale) })
 
 	finish := s.experimentSpan("table10")
 	defer finish()

@@ -1,7 +1,8 @@
 package datagen
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"graphalytics/internal/xrand"
@@ -135,12 +136,11 @@ func sortByDimension(persons []person, st step) []person {
 	if st.dim == nil {
 		return sorted
 	}
-	sort.Slice(sorted, func(i, j int) bool {
-		di, dj := st.dim(&sorted[i]), st.dim(&sorted[j])
-		if di != dj {
-			return di < dj
+	slices.SortFunc(sorted, func(a, b person) int {
+		if da, db := st.dim(&a), st.dim(&b); da != db {
+			return cmp.Compare(da, db)
 		}
-		return sorted[i].id < sorted[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	return sorted
 }
@@ -273,11 +273,11 @@ func mergeParts(parts [][]rawEdge) []rawEdge {
 // sortEdges orders edges canonically; both flows rely on sorted order for
 // deduplication.
 func sortEdges(edges []rawEdge) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].src != edges[j].src {
-			return edges[i].src < edges[j].src
+	slices.SortFunc(edges, func(a, b rawEdge) int {
+		if a.src != b.src {
+			return cmp.Compare(a.src, b.src)
 		}
-		return edges[i].dst < edges[j].dst
+		return cmp.Compare(a.dst, b.dst)
 	})
 }
 

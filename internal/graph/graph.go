@@ -11,7 +11,9 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -186,11 +188,11 @@ func (g *Graph) Edges() []Edge {
 			out = append(out, e)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
+	slices.SortFunc(out, func(a, b Edge) int {
+		if a.Src != b.Src {
+			return cmp.Compare(a.Src, b.Src)
 		}
-		return out[i].Dst < out[j].Dst
+		return cmp.Compare(a.Dst, b.Dst)
 	})
 	return out
 }

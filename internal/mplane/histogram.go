@@ -1,0 +1,119 @@
+package mplane
+
+// Histogram is a generation-stamped open-addressing counter for int64
+// keys, sized for the CDLP inner loop: count a vertex's neighbor labels,
+// take the (highest count, smallest label) argmax, reset in O(1), repeat.
+// It replaces make(map[int64]int) per vertex (or per chunk) with three
+// flat arrays that live for the whole job.
+//
+// Occupancy is tracked by generation stamp, so Reset just bumps the
+// generation; slots are lazily reclaimed on the next Add that probes
+// them. The argmax is order-independent (the tie-break totally orders
+// (count, key) pairs), so the result is identical to the map-based
+// histogram it replaces, for any insertion order and any table size.
+type Histogram struct {
+	keys    []int64
+	cnt     []int32
+	gen     []uint32
+	touched []int32 // occupied slot indices this generation
+	cur     uint32
+	mask    uint32
+}
+
+// minHistogramSlots is the smallest table; tables grow by doubling when
+// half full.
+const minHistogramSlots = 16
+
+// NewHistogram returns a histogram with capacity for at least hint
+// distinct keys before the first regrowth.
+func NewHistogram(hint int) *Histogram {
+	slots := minHistogramSlots
+	for slots < 2*hint {
+		slots <<= 1
+	}
+	h := &Histogram{
+		keys: make([]int64, slots),
+		cnt:  make([]int32, slots),
+		gen:  make([]uint32, slots),
+		mask: uint32(slots - 1),
+		cur:  1,
+	}
+	return h
+}
+
+// Reset discards all counts in O(1).
+func (h *Histogram) Reset() {
+	h.touched = h.touched[:0]
+	h.cur++
+	if h.cur == 0 { // generation wrapped: re-zero the stamps once
+		clear(h.gen)
+		h.cur = 1
+	}
+}
+
+// slot returns the starting probe index for key (Fibonacci hashing).
+func (h *Histogram) slot(key int64) uint32 {
+	return uint32((uint64(key)*0x9E3779B97F4A7C15)>>32) & h.mask
+}
+
+// Add counts one occurrence of key.
+func (h *Histogram) Add(key int64) {
+	for i := h.slot(key); ; i = (i + 1) & h.mask {
+		if h.gen[i] != h.cur { // free (or stale) slot
+			h.gen[i] = h.cur
+			h.keys[i] = key
+			h.cnt[i] = 1
+			h.touched = append(h.touched, int32(i))
+			if len(h.touched)*2 > len(h.keys) {
+				h.grow()
+			}
+			return
+		}
+		if h.keys[i] == key {
+			h.cnt[i]++
+			return
+		}
+	}
+}
+
+// grow doubles the table and rehashes the live entries.
+func (h *Histogram) grow() {
+	oldKeys, oldCnt, oldTouched := h.keys, h.cnt, h.touched
+	slots := 2 * len(oldKeys)
+	h.keys = make([]int64, slots)
+	h.cnt = make([]int32, slots)
+	h.gen = make([]uint32, slots)
+	h.touched = make([]int32, 0, len(oldTouched)*2)
+	h.mask = uint32(slots - 1)
+	h.cur = 1
+	for _, i := range oldTouched {
+		key, c := oldKeys[i], oldCnt[i]
+		for j := h.slot(key); ; j = (j + 1) & h.mask {
+			if h.gen[j] != h.cur {
+				h.gen[j] = h.cur
+				h.keys[j] = key
+				h.cnt[j] = c
+				h.touched = append(h.touched, int32(j))
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of distinct keys counted this generation.
+func (h *Histogram) Len() int { return len(h.touched) }
+
+// Best returns the most frequent key, breaking ties toward the smallest
+// key — the CDLP specification's deterministic argmax. A histogram with
+// no counts returns own (a vertex with no neighbors keeps its label).
+func (h *Histogram) Best(own int64) int64 {
+	best := own
+	var bestCount int32
+	for _, i := range h.touched {
+		k, c := h.keys[i], h.cnt[i]
+		if c > bestCount || (c == bestCount && k < best) {
+			best, bestCount = k, c
+		}
+	}
+	return best
+}

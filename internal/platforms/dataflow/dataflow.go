@@ -23,11 +23,13 @@ package dataflow
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
 	"graphalytics/internal/granula"
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -78,11 +80,19 @@ type uploaded struct {
 	vpartOf   []int32
 	machineOf []int32 // machine of vertex partition p
 	emachine  []int32 // machine of edge partition p
+	// machEparts[m] / machVparts[m] list the edge / vertex partitions
+	// hosted on machine m, ascending — the per-stage task lists, built
+	// once here instead of rediscovered every dataflow stage.
+	machEparts [][]int
+	machVparts [][]int
 	// shipBytes[m] is the per-dense-iteration attribute-shuffle egress of
 	// machine m, precomputed from the routing tables.
 	shipBytes []int64
 	degrees   []int32 // out-degrees dataset, precomputed at load
 	bytes     []int64
+	// scratch caches the shuffle plane (staging buffers, CSR inbox,
+	// frontier flags, label histogram) between Execute calls.
+	scratch mplane.Pool
 }
 
 func (u *uploaded) Free() {
@@ -120,12 +130,16 @@ func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Upload
 		degrees:    make([]int32, n),
 		bytes:      make([]int64, M),
 	}
+	u.machEparts = make([][]int, M)
+	u.machVparts = make([][]int, M)
 	for p := 0; p < nvp; p++ {
 		u.machineOf[p] = int32(p % M)
+		u.machVparts[p%M] = append(u.machVparts[p%M], p)
 	}
 	for p := 0; p < nep; p++ {
 		u.emachine[p] = int32(p % M)
 		u.eparts[p] = &edgePartition{}
+		u.machEparts[p%M] = append(u.machEparts[p%M], p)
 	}
 	for v := 0; v < n; v++ {
 		p := int32(v % nvp)
@@ -193,7 +207,7 @@ func distinct(xs []int32) []int32 {
 		return nil
 	}
 	out := append([]int32(nil), xs...)
-	sortInt32(out)
+	slices.Sort(out)
 	uniq := out[:0]
 	for i, x := range out {
 		if i == 0 || x != out[i-1] {

@@ -3,77 +3,101 @@ package dataflow
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
-func sortInt32(xs []int32) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+// dfScratch is the engine's job-lifetime shuffle plane: one typed mailbox
+// per message width (staging buffers plus a CSR inbox), the frontier
+// flags of the sparse flows, and the CDLP label histogram. It is checked
+// out of the uploaded state's pool per Execute and reset — never
+// reallocated — per dataflow stage, so steady-state iterations allocate
+// nothing. The seed engine re-materialized a map[int32]M per vertex
+// partition per iteration instead; that "fresh hash maps" cost is still
+// modeled (the shuffle volume and the Alloc registration are unchanged) —
+// only the Go-side garbage is gone.
+type dfScratch struct {
+	i64 mail[int64]
+	f64 mail[float64]
+	i32 mail[int32]
+
+	hist     *mplane.Histogram
+	perVPart []int     // per-vertex-partition update counters
+	active   []bool    // frontier flags (bfs, sssp)
+	nextActv []bool    //
+	hoods    [][]int32 // lcc: per-vertex neighborhood views into i32 inbox
 }
 
-// emitter stages the messages produced while scanning one edge partition.
-type emitter[M any] struct {
-	dst []int32
-	msg []M
+// mail is the shuffle state for one message type: a staging buffer per
+// edge partition and the shared CSR inbox they are delivered into.
+type mail[M any] struct {
+	stages []mplane.Stage[M]
+	inbox  mplane.Inbox[M]
 }
 
-// emit queues a message for vertex dst.
-func (em *emitter[M]) emit(dst int32, m M) {
-	em.dst = append(em.dst, dst)
-	em.msg = append(em.msg, m)
+// acquireScratch checks the scratch out of the upload's pool.
+func acquireScratch(u *uploaded) *dfScratch {
+	return mplane.Acquire(&u.scratch, func() *dfScratch {
+		return &dfScratch{hist: mplane.NewHistogram(16)}
+	})
 }
 
-// keyed is one shuffled message record.
-type keyed[M any] struct {
-	key int32
-	msg M
+// counters returns the per-vertex-partition counter array, zeroed.
+func (sc *dfScratch) counters(nvp int) []int {
+	sc.perVPart = mplane.GrowZero(sc.perVPart, nvp)
+	return sc.perVPart
 }
 
-// aggregate runs one aggregateMessages dataflow: an edge-stage round that
-// scans every edge partition and emits messages, a shuffle of the emitted
-// messages to vertex partitions, and a vertex-stage round that merges
-// messages by key into fresh hash maps and joins them with the vertex
-// dataset via apply. shipFraction scales the attribute-shuffle traffic
+// frontier returns the two frontier-flag arrays, zeroed.
+func (sc *dfScratch) frontier(n int) (active, next []bool) {
+	sc.active = mplane.GrowZero(sc.active, n)
+	sc.nextActv = mplane.GrowZero(sc.nextActv, n)
+	return sc.active, sc.nextActv
+}
+
+// runFlow executes one aggregateMessages dataflow: an edge-stage round
+// that scans every edge partition and stages messages, a shuffle that
+// delivers the staged messages into the CSR inbox (machine-major,
+// partition-major — the stable order the seed's sequential appends
+// produced), and a vertex-stage round that hands every vertex its
+// delivered segment. shipFraction scales the attribute-shuffle traffic
 // (1 for dense iterations, the active fraction for sparse ones);
 // msgBytes is the wire size of one message.
-func aggregate[M any](ctx context.Context, u *uploaded, shipFraction float64, msgBytes int64,
-	send func(em *emitter[M], ep *edgePartition),
-	merge func(a, b M) M,
-	apply func(vpart int, v int32, msg M, has bool)) error {
+func runFlow[M any](ctx context.Context, u *uploaded, mb *mail[M], shipFraction float64, msgBytes int64,
+	send func(em *mplane.Stage[M], ep *edgePartition),
+	applySeg func(vpart int, v int32, msgs []M)) error {
 
 	if err := platform.CheckContext(ctx); err != nil {
 		return err
 	}
 	cl := u.Cl
-	inbox := make([][]keyed[M], len(u.vparts))
+	if len(mb.stages) != len(u.eparts) {
+		mb.stages = make([]mplane.Stage[M], len(u.eparts))
+	}
+	mb.inbox.Begin(u.G.NumVertices())
 
-	// Edge stage: scan partitions, emit, route to vertex partitions.
+	// Edge stage: scan partitions, stage messages, account the shuffle.
 	if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
-		var mine []int
-		for p := range u.eparts {
-			if int(u.emachine[p]) == mach {
-				mine = append(mine, p)
-			}
-		}
-		emitters := make([]*emitter[M], len(mine))
+		mine := u.machEparts[mach]
 		th.For(len(mine), func(i int) {
-			em := &emitter[M]{}
-			send(em, u.eparts[mine[i]])
-			emitters[i] = em
+			st := &mb.stages[mine[i]]
+			st.Reset()
+			send(st, u.eparts[mine[i]])
 		})
 		var wire int64
-		for i, em := range emitters {
-			epMach := u.emachine[mine[i]]
-			for k, dst := range em.dst {
-				vp := u.vpartOf[dst]
-				inbox[vp] = append(inbox[vp], keyed[M]{key: dst, msg: em.msg[k]})
-				if u.machineOf[vp] != epMach {
+		for _, p := range mine {
+			st := &mb.stages[p]
+			epMach := u.emachine[p]
+			for _, dst := range st.Dst {
+				if u.machineOf[u.vpartOf[dst]] != epMach {
 					wire += msgBytes + 4
 				}
 			}
+			mb.inbox.Count(st)
 		}
 		cl.Send(mach, (mach+1)%cl.Machines(), wire)
 		if shipFraction > 0 {
@@ -84,40 +108,66 @@ func aggregate[M any](ctx context.Context, u *uploaded, shipFraction float64, ms
 		return err
 	}
 
-	// Vertex stage: reduce by key and join with the vertex dataset.
-	return cl.RunRound(func(mach int, th *cluster.Threads) error {
-		var mine []int
-		for p := range u.vparts {
-			if int(u.machineOf[p]) == mach {
-				mine = append(mine, p)
+	// Shuffle barrier: scatter stages in the order they were counted.
+	// The scatter is global (it needs every machine's counts), so it runs
+	// as measured barrier work rather than inside one machine's round.
+	cl.RunBarrier(func() {
+		mb.inbox.Seal()
+		for m := 0; m < cl.Machines(); m++ {
+			for _, p := range u.machEparts[m] {
+				mb.inbox.Scatter(&mb.stages[p])
 			}
 		}
+	})
+
+	// Vertex stage: hand every vertex its delivered segment.
+	return cl.RunRound(func(mach int, th *cluster.Threads) error {
+		mine := u.machVparts[mach]
 		th.For(len(mine), func(i int) {
 			p := mine[i]
-			merged := make(map[int32]M, len(inbox[p]))
-			for _, kv := range inbox[p] {
-				if cur, ok := merged[kv.key]; ok {
-					merged[kv.key] = merge(cur, kv.msg)
-				} else {
-					merged[kv.key] = kv.msg
-				}
-			}
-			inbox[p] = nil
 			for _, v := range u.vparts[p] {
-				m, ok := merged[v]
-				apply(p, v, m, ok)
+				applySeg(p, v, mb.inbox.At(v))
 			}
 		})
 		return nil
 	})
 }
 
+// aggregate is runFlow with a reduce-by-key stage: each vertex's segment
+// is folded left to right in delivery order — exactly the order the
+// seed's per-partition hash maps merged in — and joined with the vertex
+// dataset via apply.
+func aggregate[M any](ctx context.Context, u *uploaded, mb *mail[M], shipFraction float64, msgBytes int64,
+	send func(em *mplane.Stage[M], ep *edgePartition),
+	merge func(a, b M) M,
+	apply func(vpart int, v int32, msg M, has bool)) error {
+
+	return runFlow(ctx, u, mb, shipFraction, msgBytes, send,
+		func(vpart int, v int32, msgs []M) {
+			if len(msgs) == 0 {
+				var zero M
+				apply(vpart, v, zero, false)
+				return
+			}
+			acc := msgs[0]
+			for _, m := range msgs[1:] {
+				acc = merge(acc, m)
+			}
+			apply(vpart, v, acc, true)
+		})
+}
+
 // prFlow is PageRank as iterated aggregateMessages with a sum reducer.
+// Source attributes are read straight from the rank vector; the ship
+// stage that would move them to the edge partitions is accounted through
+// shipBytes, as in the seed.
 func prFlow(ctx context.Context, u *uploaded, iterations int, damping float64) ([]float64, error) {
 	n := u.G.NumVertices()
 	if n == 0 {
 		return nil, nil
 	}
+	sc := acquireScratch(u)
+	defer u.scratch.Put(sc)
 	directed := u.G.Directed()
 	inv := 1.0 / float64(n)
 	rank := make([]float64, n)
@@ -136,31 +186,16 @@ func prFlow(ctx context.Context, u *uploaded, iterations int, damping float64) (
 		for i := range danglingParts {
 			danglingParts[i] = 0
 		}
-		err := aggregate(ctx, u, 1, 8,
-			func(em *emitter[float64], ep *edgePartition) {
-				srcAttr := make(map[int32]float64, len(ep.needSrc))
-				for _, v := range ep.needSrc {
-					if d := u.degrees[v]; d > 0 {
-						srcAttr[v] = rank[v] / float64(d)
-					}
-				}
-				var dstAttr map[int32]float64
-				if !directed {
-					dstAttr = make(map[int32]float64, len(ep.needDst))
-					for _, v := range ep.needDst {
-						if d := u.degrees[v]; d > 0 {
-							dstAttr[v] = rank[v] / float64(d)
-						}
-					}
-				}
+		err := aggregate(ctx, u, &sc.f64, 1, 8,
+			func(em *mplane.Stage[float64], ep *edgePartition) {
 				for i, s := range ep.src {
 					d := ep.dst[i]
-					if c, ok := srcAttr[s]; ok {
-						em.emit(d, c)
+					if dg := u.degrees[s]; dg > 0 {
+						em.Send(d, rank[s]/float64(dg))
 					}
 					if !directed {
-						if c, ok := dstAttr[d]; ok {
-							em.emit(s, c)
+						if dg := u.degrees[d]; dg > 0 {
+							em.Send(s, rank[d]/float64(dg))
 						}
 					}
 				}
@@ -191,28 +226,29 @@ func prFlow(ctx context.Context, u *uploaded, iterations int, damping float64) (
 // partitions, filtering triplets by the active flag of the source.
 func bfsFlow(ctx context.Context, u *uploaded, source int32) ([]int64, error) {
 	n := u.G.NumVertices()
+	sc := acquireScratch(u)
+	defer u.scratch.Put(sc)
 	directed := u.G.Directed()
 	depth := make([]int64, n)
 	for i := range depth {
 		depth[i] = algorithms.Unreachable
 	}
 	depth[source] = 0
-	active := make([]bool, n)
-	nextActive := make([]bool, n)
+	active, nextActive := sc.frontier(n)
 	active[source] = true
 	activeCount := 1
 	for activeCount > 0 {
-		updates := make([]int, len(u.vparts))
+		updates := sc.counters(len(u.vparts))
 		frac := float64(activeCount) / float64(n)
-		err := aggregate(ctx, u, frac, 8,
-			func(em *emitter[int64], ep *edgePartition) {
+		err := aggregate(ctx, u, &sc.i64, frac, 8,
+			func(em *mplane.Stage[int64], ep *edgePartition) {
 				for i, s := range ep.src {
 					d := ep.dst[i]
 					if active[s] && depth[d] == algorithms.Unreachable {
-						em.emit(d, depth[s]+1)
+						em.Send(d, depth[s]+1)
 					}
 					if !directed && active[d] && depth[s] == algorithms.Unreachable {
-						em.emit(s, depth[d]+1)
+						em.Send(s, depth[d]+1)
 					}
 				}
 			},
@@ -246,6 +282,8 @@ func bfsFlow(ctx context.Context, u *uploaded, source int32) ([]int64, error) {
 // vertex changes.
 func wccFlow(ctx context.Context, u *uploaded) ([]int64, error) {
 	n := u.G.NumVertices()
+	sc := acquireScratch(u)
+	defer u.scratch.Put(sc)
 	labels := make([]int64, n)
 	for v := 0; v < n; v++ {
 		labels[v] = u.G.VertexID(int32(v))
@@ -257,21 +295,13 @@ func wccFlow(ctx context.Context, u *uploaded) ([]int64, error) {
 		return b
 	}
 	for {
-		changes := make([]int, len(u.vparts))
-		err := aggregate(ctx, u, 1, 8,
-			func(em *emitter[int64], ep *edgePartition) {
-				srcAttr := make(map[int32]int64, len(ep.needSrc))
-				for _, v := range ep.needSrc {
-					srcAttr[v] = labels[v]
-				}
-				dstAttr := make(map[int32]int64, len(ep.needDst))
-				for _, v := range ep.needDst {
-					dstAttr[v] = labels[v]
-				}
+		changes := sc.counters(len(u.vparts))
+		err := aggregate(ctx, u, &sc.i64, 1, 8,
+			func(em *mplane.Stage[int64], ep *edgePartition) {
 				for i, s := range ep.src {
 					d := ep.dst[i]
-					em.emit(d, srcAttr[s])
-					em.emit(s, dstAttr[d])
+					em.Send(d, labels[s])
+					em.Send(s, labels[d])
 				}
 			},
 			minMerge,
@@ -295,51 +325,39 @@ func wccFlow(ctx context.Context, u *uploaded) ([]int64, error) {
 	return labels, nil
 }
 
-// cdlpFlow shuffles full label multisets every iteration: the reducer
-// concatenates label lists, so message volume is one label per edge per
-// direction — the cost that makes CDLP on dataflow engines fail the SLA at
-// scale in the paper.
+// cdlpFlow shuffles full label multisets every iteration: one label per
+// edge per direction, nothing combinable — the cost that makes CDLP on
+// dataflow engines fail the SLA at scale in the paper. The per-vertex
+// multiset lands as one CSR inbox segment and is counted by the shared
+// dense histogram instead of a fresh map per vertex.
 func cdlpFlow(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 	n := u.G.NumVertices()
+	sc := acquireScratch(u)
+	defer u.scratch.Put(sc)
 	labels := make([]int64, n)
 	next := make([]int64, n)
 	for v := 0; v < n; v++ {
 		labels[v] = u.G.VertexID(int32(v))
 	}
 	for it := 0; it < iterations; it++ {
-		err := aggregate(ctx, u, 1, 12,
-			func(em *emitter[[]int64], ep *edgePartition) {
-				srcAttr := make(map[int32]int64, len(ep.needSrc))
-				for _, v := range ep.needSrc {
-					srcAttr[v] = labels[v]
-				}
-				dstAttr := make(map[int32]int64, len(ep.needDst))
-				for _, v := range ep.needDst {
-					dstAttr[v] = labels[v]
-				}
+		err := runFlow(ctx, u, &sc.i64, 1, 12,
+			func(em *mplane.Stage[int64], ep *edgePartition) {
 				for i, s := range ep.src {
 					d := ep.dst[i]
-					em.emit(d, []int64{srcAttr[s]})
-					em.emit(s, []int64{dstAttr[d]})
+					em.Send(d, labels[s])
+					em.Send(s, labels[d])
 				}
 			},
-			func(a, b []int64) []int64 { return append(a, b...) },
-			func(vp int, v int32, msg []int64, has bool) {
-				if !has {
+			func(vp int, v int32, msgs []int64) {
+				if len(msgs) == 0 {
 					next[v] = labels[v]
 					return
 				}
-				counts := make(map[int64]int, len(msg))
-				for _, l := range msg {
-					counts[l]++
+				sc.hist.Reset()
+				for _, l := range msgs {
+					sc.hist.Add(l)
 				}
-				best, bestCount := labels[v], 0
-				for l, c := range counts {
-					if c > bestCount || (c == bestCount && l < best) {
-						best, bestCount = l, c
-					}
-				}
-				next[v] = best
+				next[v] = sc.hist.Best(labels[v])
 			})
 		if err != nil {
 			return nil, err
@@ -350,28 +368,34 @@ func cdlpFlow(ctx context.Context, u *uploaded, iterations int) ([]int64, error)
 }
 
 // lccFlow runs two aggregations: the first materializes every vertex's
-// neighborhood as shuffled id lists; the second intersects the
+// neighborhood as a shuffled id segment; the second intersects the
 // neighborhoods across each triplet and shuffles one credit per closed
 // wedge. The intermediate data dwarfs the graph, which is exactly why the
 // paper's dataflow platform cannot finish LCC within the SLA at scale.
 func lccFlow(ctx context.Context, u *uploaded) ([]float64, error) {
 	n := u.G.NumVertices()
+	sc := acquireScratch(u)
+	defer u.scratch.Put(sc)
 	directed := u.G.Directed()
-	hoods := make([][]int32, n)
-	err := aggregate(ctx, u, 1, 8,
-		func(em *emitter[[]int32], ep *edgePartition) {
+	sc.hoods = mplane.GrowZero(sc.hoods, n)
+	hoods := sc.hoods
+	err := runFlow(ctx, u, &sc.i32, 1, 8,
+		func(em *mplane.Stage[int32], ep *edgePartition) {
 			for i, s := range ep.src {
 				d := ep.dst[i]
-				em.emit(d, []int32{s})
-				em.emit(s, []int32{d})
+				em.Send(d, s)
+				em.Send(s, d)
 			}
 		},
-		func(a, b []int32) []int32 { return append(a, b...) },
-		func(vp int, v int32, msg []int32, has bool) {
-			if !has {
+		func(vp int, v int32, msg []int32) {
+			if len(msg) == 0 {
+				hoods[v] = nil
 				return
 			}
-			sortInt32(msg)
+			// The segment aliases the i32 inbox, which stays untouched for
+			// the rest of the job (the credit shuffle uses the i64 mailbox),
+			// so the deduplicated neighborhood can live in place.
+			slices.Sort(msg)
 			uniq := msg[:0]
 			for i, x := range msg {
 				if x == v {
@@ -388,8 +412,8 @@ func lccFlow(ctx context.Context, u *uploaded) ([]float64, error) {
 		return nil, err
 	}
 	credits := make([]int64, n)
-	err = aggregate(ctx, u, 1, 12,
-		func(em *emitter[int64], ep *edgePartition) {
+	err = aggregate(ctx, u, &sc.i64, 1, 12,
+		func(em *mplane.Stage[int64], ep *edgePartition) {
 			for i, a := range ep.src {
 				b := ep.dst[i]
 				weight := int64(1)
@@ -406,7 +430,7 @@ func lccFlow(ctx context.Context, u *uploaded) ([]float64, error) {
 					case hb[y] < ha[x]:
 						y++
 					default:
-						em.emit(ha[x], weight)
+						em.Send(ha[x], weight)
 						x++
 						y++
 					}
@@ -435,29 +459,30 @@ func lccFlow(ctx context.Context, u *uploaded) ([]float64, error) {
 // ssspFlow is Pregel-on-dataflow SSSP with a min reducer.
 func ssspFlow(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
 	n := u.G.NumVertices()
+	sc := acquireScratch(u)
+	defer u.scratch.Put(sc)
 	directed := u.G.Directed()
 	dist := make([]float64, n)
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	dist[source] = 0
-	active := make([]bool, n)
-	nextActive := make([]bool, n)
+	active, nextActive := sc.frontier(n)
 	active[source] = true
 	activeCount := 1
 	for activeCount > 0 {
-		updates := make([]int, len(u.vparts))
+		updates := sc.counters(len(u.vparts))
 		frac := float64(activeCount) / float64(n)
-		err := aggregate(ctx, u, frac, 8,
-			func(em *emitter[float64], ep *edgePartition) {
+		err := aggregate(ctx, u, &sc.f64, frac, 8,
+			func(em *mplane.Stage[float64], ep *edgePartition) {
 				for i, s := range ep.src {
 					d := ep.dst[i]
 					w := ep.w[i]
 					if active[s] {
-						em.emit(d, dist[s]+w)
+						em.Send(d, dist[s]+w)
 					}
 					if !directed && active[d] {
-						em.emit(s, dist[d]+w)
+						em.Send(s, dist[d]+w)
 					}
 				}
 			},

@@ -17,12 +17,14 @@ package gas
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
 	"graphalytics/internal/granula"
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -103,6 +105,16 @@ type uploaded struct {
 	// masterVerts[m] lists the vertices mastered on machine m.
 	masterVerts [][]int32
 	bytes       []int64
+	// labelOff is the static CSR layout of the CDLP label gather: vertex
+	// v's incoming labels land in labelBuf[labelOff[v]:labelOff[v+1]].
+	// Every iteration gathers every arc, so the per-vertex capacity is a
+	// property of the partition, computed once here; the flat buffer
+	// itself is job-lifetime scratch.
+	labelOff   []int32
+	labelTotal int
+	// scratch caches the gather plane (flat label buffer, write cursors,
+	// label histogram) between Execute calls.
+	scratch mplane.Pool
 }
 
 func (u *uploaded) Free() {
@@ -152,18 +164,45 @@ func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Upload
 		}
 		u.bytes[m] = bytes
 	}
+	u.buildLabelLayout(g)
 	return u, nil
+}
+
+// buildLabelLayout sizes the CDLP gather: vertex v receives one label per
+// local in-arc on every machine, plus one per local out-arc in directed
+// graphs — mirroring exactly the writes cdlpGAS performs each iteration.
+func (u *uploaded) buildLabelLayout(g *graph.Graph) {
+	n := g.NumVertices()
+	cnt := make([]int32, n)
+	for _, ma := range u.local {
+		for i, dst := range ma.dsts {
+			cnt[dst] += ma.doff[i+1] - ma.doff[i]
+		}
+		if g.Directed() {
+			for i, src := range ma.srcs {
+				cnt[src] += ma.off[i+1] - ma.off[i]
+			}
+		}
+	}
+	u.labelOff = make([]int32, n+1)
+	var total int32
+	for v := 0; v < n; v++ {
+		u.labelOff[v] = total
+		total += cnt[v]
+	}
+	u.labelOff[n] = total
+	u.labelTotal = int(total)
 }
 
 // buildMachineArcs sorts a machine's arcs by source and attaches weights
 // and the by-source index.
 func buildMachineArcs(g *graph.Graph, arcs []cluster.Arc) *machineArcs {
 	sorted := append([]cluster.Arc(nil), arcs...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Src != sorted[j].Src {
-			return sorted[i].Src < sorted[j].Src
+	slices.SortFunc(sorted, func(a, b cluster.Arc) int {
+		if a.Src != b.Src {
+			return int(a.Src) - int(b.Src)
 		}
-		return sorted[i].Dst < sorted[j].Dst
+		return int(a.Dst) - int(b.Dst)
 	})
 	ma := &machineArcs{arcs: sorted}
 	if g.Weighted() {
@@ -184,12 +223,12 @@ func buildMachineArcs(g *graph.Graph, arcs []cluster.Arc) *machineArcs {
 	for i := range ma.dstOrder {
 		ma.dstOrder[i] = int32(i)
 	}
-	sort.Slice(ma.dstOrder, func(i, j int) bool {
-		a, b := sorted[ma.dstOrder[i]], sorted[ma.dstOrder[j]]
+	slices.SortFunc(ma.dstOrder, func(i, j int32) int {
+		a, b := sorted[i], sorted[j]
 		if a.Dst != b.Dst {
-			return a.Dst < b.Dst
+			return int(a.Dst) - int(b.Dst)
 		}
-		return a.Src < b.Src
+		return int(a.Src) - int(b.Src)
 	})
 	for i, k := range ma.dstOrder {
 		a := sorted[k]

@@ -3,13 +3,31 @@ package gas
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
+
+// gasScratch is the engine's job-lifetime gather plane for CDLP: the flat
+// label buffer laid out by the upload's static CSR offsets, the per-vertex
+// write cursors, and the dense label histogram. Checked out of the
+// uploaded state's pool per Execute, so steady-state iterations allocate
+// nothing.
+type gasScratch struct {
+	labelBuf []int64
+	pos      []int32
+	hist     *mplane.Histogram
+}
+
+func acquireScratch(u *uploaded) *gasScratch {
+	return mplane.Acquire(&u.scratch, func() *gasScratch {
+		return &gasScratch{hist: mplane.NewHistogram(16)}
+	})
+}
 
 // prGAS runs PageRank as dense synchronous GAS iterations: the gather
 // round folds contrib over each machine's destination groups, the apply
@@ -258,16 +276,24 @@ func wccGAS(ctx context.Context, u *uploaded) ([]int64, error) {
 	return out, nil
 }
 
-// cdlpGAS gathers neighbor labels into per-vertex lists (labels cannot be
-// pre-combined) and applies the deterministic mode on masters.
+// cdlpGAS gathers neighbor labels (labels cannot be pre-combined) into
+// the flat label buffer laid out by the upload's static CSR offsets, then
+// applies the deterministic mode on masters with the dense histogram.
+// Per-vertex write cursors replace the seed's per-vertex append lists;
+// the apply phase rewinds each master's cursor for the next iteration.
 func cdlpGAS(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 	g, cl := u.G, u.Cl
 	n := g.NumVertices()
+	sc := acquireScratch(u)
+	defer u.scratch.Put(sc)
 	labels := make([]int64, n)
 	for v := int32(0); v < int32(n); v++ {
 		labels[v] = g.VertexID(v)
 	}
-	lists := make([][]int64, n)
+	sc.labelBuf = mplane.Grow(sc.labelBuf, u.labelTotal)
+	sc.pos = mplane.Grow(sc.pos, n)
+	copy(sc.pos, u.labelOff[:n])
+	labelBuf, pos := sc.labelBuf, sc.pos
 	for it := 0; it < iterations; it++ {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
@@ -280,9 +306,12 @@ func cdlpGAS(ctx context.Context, u *uploaded, iterations int) ([]int64, error) 
 				var bytes int64
 				for i := lo; i < hi; i++ {
 					dst := ma.dsts[i]
+					p := pos[dst]
 					for k := ma.doff[i]; k < ma.doff[i+1]; k++ {
-						lists[dst] = append(lists[dst], labels[ma.arcByDst(k).Src])
+						labelBuf[p] = labels[ma.arcByDst(k).Src]
+						p++
 					}
+					pos[dst] = p
 					if int(u.part.Master[dst]) != mach {
 						bytes += int64(ma.doff[i+1]-ma.doff[i]) * 8
 					}
@@ -294,9 +323,12 @@ func cdlpGAS(ctx context.Context, u *uploaded, iterations int) ([]int64, error) 
 				th.Chunks(len(ma.srcs), func(lo, hi int) {
 					for i := lo; i < hi; i++ {
 						src := ma.srcs[i]
+						p := pos[src]
 						for _, a := range ma.arcs[ma.off[i]:ma.off[i+1]] {
-							lists[src] = append(lists[src], labels[a.Dst])
+							labelBuf[p] = labels[a.Dst]
+							p++
 						}
+						pos[src] = p
 					}
 				})
 			}
@@ -311,21 +343,14 @@ func cdlpGAS(ctx context.Context, u *uploaded, iterations int) ([]int64, error) 
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			verts := u.masterVerts[mach]
 			th.Chunks(len(verts), func(lo, hi int) {
-				counts := make(map[int64]int, 16)
 				for _, v := range verts[lo:hi] {
-					if len(lists[v]) > 0 {
-						clear(counts)
-						for _, l := range lists[v] {
-							counts[l]++
+					if seg := labelBuf[u.labelOff[v]:pos[v]]; len(seg) > 0 {
+						sc.hist.Reset()
+						for _, l := range seg {
+							sc.hist.Add(l)
 						}
-						best, bestCount := labels[v], 0
-						for l, c := range counts {
-							if c > bestCount || (c == bestCount && l < best) {
-								best, bestCount = l, c
-							}
-						}
-						labels[v] = best
-						lists[v] = lists[v][:0]
+						labels[v] = sc.hist.Best(labels[v])
+						pos[v] = u.labelOff[v]
 					}
 				}
 			})
@@ -377,7 +402,7 @@ func lccGAS(ctx context.Context, u *uploaded) ([]float64, error) {
 		th.Chunks(len(verts), func(lo, hi int) {
 			for _, v := range verts[lo:hi] {
 				h := hoods[v]
-				sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+				slices.Sort(h)
 				uniq := h[:0]
 				for k, x := range h {
 					if x == v {

@@ -8,6 +8,7 @@ import (
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -157,7 +158,9 @@ func wcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]int64, err
 }
 
 // cdlp is the deterministic synchronous label propagation of the
-// specification, parallel over vertices with per-worker histogram maps.
+// specification, parallel over vertices. The simulated threads run their
+// chunks sequentially, so one job-lifetime dense histogram serves every
+// chunk of every iteration.
 func cdlp(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, iterations int) ([]int64, error) {
 	n := g.NumVertices()
 	labels := make([]int64, n)
@@ -165,13 +168,14 @@ func cdlp(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, iterations i
 	for v := int32(0); v < int32(n); v++ {
 		labels[v] = g.VertexID(v)
 	}
+	hist := mplane.NewHistogram(16)
 	for it := 0; it < iterations; it++ {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
 		}
 		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
 			th.Chunks(n, func(lo, hi int) {
-				algorithms.CDLPRange(g, labels, next, lo, hi)
+				algorithms.CDLPRangeHist(g, labels, next, lo, hi, hist)
 			})
 			return nil
 		}); err != nil {

@@ -3,10 +3,11 @@ package pregel
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/granula"
+	"graphalytics/internal/mplane"
 )
 
 // bfsProgram: the source starts at depth 0 and floods level numbers; every
@@ -29,6 +30,7 @@ func bfsProgram(ctx context.Context, t *granula.Tracker, u *uploaded, source int
 	}
 	r := newRunner[int64](u, fixedSize[int64](8), combine)
 	r.tracker = t
+	defer r.release()
 	compute := func(w *worker[int64], v int32, msgs []int64, superstep int) {
 		if superstep == 0 {
 			if v == source {
@@ -79,6 +81,7 @@ func prProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iterations 
 	}
 	r := newRunner[float64](u, fixedSize[float64](8), combine)
 	r.tracker = t
+	defer r.release()
 	compute := func(w *worker[float64], v int32, msgs []float64, superstep int) {
 		if superstep > 0 {
 			sum := 0.0
@@ -126,6 +129,7 @@ func wccProgram(ctx context.Context, t *granula.Tracker, u *uploaded, combiners 
 	}
 	r := newRunner[int64](u, fixedSize[int64](8), combine)
 	r.tracker = t
+	defer r.release()
 	sendAll := func(w *worker[int64], v int32, label int64) {
 		for _, dst := range u.verts[v].out {
 			w.Send(dst, label)
@@ -162,7 +166,9 @@ func wccProgram(ctx context.Context, t *granula.Tracker, u *uploaded, combiners 
 // neighbors (both directions in directed graphs) and adopts the most
 // frequent incoming label, ties toward the smallest. Labels cannot be
 // combined, so the message volume is one label per edge per iteration —
-// the cost profile the paper observes for CDLP on message-passing systems.
+// the cost profile the paper observes for CDLP on message-passing
+// systems. The incoming multiset is counted by one job-lifetime dense
+// histogram (the simulated threads run their chunks sequentially).
 func cdlpProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iterations int) ([]int64, error) {
 	n := len(u.verts)
 	labels := make([]int64, n)
@@ -171,6 +177,8 @@ func cdlpProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iteration
 	}
 	r := newRunner[int64](u, fixedSize[int64](8), nil)
 	r.tracker = t
+	defer r.release()
+	hist := mplane.NewHistogram(16)
 	sendAll := func(w *worker[int64], v int32, label int64) {
 		for _, dst := range u.verts[v].out {
 			w.Send(dst, label)
@@ -181,17 +189,11 @@ func cdlpProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iteration
 	}
 	compute := func(w *worker[int64], v int32, msgs []int64, superstep int) {
 		if superstep > 0 {
-			counts := make(map[int64]int, len(msgs))
+			hist.Reset()
 			for _, m := range msgs {
-				counts[m]++
+				hist.Add(m)
 			}
-			best, bestCount := labels[v], 0
-			for l, c := range counts {
-				if c > bestCount || (c == bestCount && l < best) {
-					best, bestCount = l, c
-				}
-			}
-			labels[v] = best
+			labels[v] = hist.Best(labels[v])
 		}
 		if superstep < iterations {
 			sendAll(w, v, labels[v])
@@ -220,6 +222,7 @@ func lccProgram(ctx context.Context, t *granula.Tracker, u *uploaded) ([]float64
 	sizeOf := func(list []int32) int64 { return int64(len(list))*4 + 4 }
 	r := newRunner[[]int32](u, sizeOf, nil)
 	r.tracker = t
+	defer r.release()
 	compute := func(w *worker[[]int32], v int32, msgs [][]int32, superstep int) {
 		if superstep == 0 {
 			adj := u.verts[v].out
@@ -256,7 +259,7 @@ func neighborhoodOf(u *uploaded, v int32) []int32 {
 	merged := make([]int32, 0, len(vd.out)+len(vd.in))
 	merged = append(merged, vd.out...)
 	merged = append(merged, vd.in...)
-	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	slices.Sort(merged)
 	uniq := merged[:0]
 	for i, x := range merged {
 		if x == v {
@@ -304,6 +307,7 @@ func ssspProgram(ctx context.Context, t *granula.Tracker, u *uploaded, source in
 	}
 	r := newRunner[float64](u, fixedSize[float64](8), combine)
 	r.tracker = t
+	defer r.release()
 	relax := func(w *worker[float64], v int32, d float64) {
 		vd := u.verts[v]
 		for i, dst := range vd.out {

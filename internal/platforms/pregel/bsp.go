@@ -6,12 +6,29 @@ import (
 
 	"graphalytics/internal/cluster"
 	"graphalytics/internal/granula"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
-// runner is the generic BSP superstep loop over message type T. It owns
-// the double-buffered per-vertex inboxes, the halt votes, and a float64
-// aggregator (used by PageRank for the dangling mass).
+// runner is the generic BSP superstep loop over message type T. All of
+// its state is job-lifetime scratch from the mplane runtime: staging
+// buffers, the per-vertex inbox, halt votes, frontier (active) lists and
+// the float64 aggregator (used by PageRank for the dangling mass) are
+// allocated once, reset each superstep, and recycled across Execute calls
+// through the uploaded state's scratch pool. A steady-state superstep
+// allocates nothing.
+//
+// Messages take one of two delivery paths, both bit-identical to
+// append-based delivery:
+//
+//   - with a combiner, each vertex owns a single generation-stamped slot
+//     (mplane.Slots) folded left to right in delivery order — the
+//     combined inbox reuses its one slot no matter how many messages a
+//     superstep delivers to the vertex;
+//   - without one, staged messages are counted and scattered into a
+//     CSR-style flat inbox (mplane.Inbox) by a stable counting sort, so
+//     each vertex reads its messages in exactly the order sequential
+//     appends would have produced.
 type runner[T any] struct {
 	u       *uploaded
 	msgSize func(T) int64  // serialized wire size of one message
@@ -20,29 +37,30 @@ type runner[T any] struct {
 	// active-vertex and message counts — the fine-grained performance
 	// model the Granula modeler defines for vertex-centric platforms.
 	tracker *granula.Tracker
-	inbox   [][]T
-	next    [][]T
-	halted  []bool
-	agg     float64 // aggregated value from the previous superstep
-	aggNext float64
+
+	inbox     mplane.Inbox[T] // combiner-less CSR inbox (current round)
+	slots     *mplane.Slots[T]
+	slotsNext *mplane.Slots[T] // combined inbox being written this round
+	halted    []bool
+	active    [][]int32      // per-machine frontier lists, reset per superstep
+	workers   [][]*worker[T] // [machine][thread slot], reset per superstep
+	wire      []int64        // per-destination-machine byte staging
+	agg       float64        // aggregated value from the previous superstep
+	aggNext   float64
 }
 
 // worker is the per-thread compute context handed to vertex programs; it
 // stages outgoing messages, halt votes and aggregator contributions so
 // that no locks are taken inside the compute loop.
 type worker[T any] struct {
-	r         *runner[T]
-	stagedDst []int32
-	stagedMsg []T
-	halts     []int32
-	agg       float64
+	r     *runner[T]
+	stage mplane.Stage[T]
+	halts []int32
+	agg   float64
 }
 
 // Send queues a message to dst for the next superstep.
-func (w *worker[T]) Send(dst int32, msg T) {
-	w.stagedDst = append(w.stagedDst, dst)
-	w.stagedMsg = append(w.stagedMsg, msg)
-}
+func (w *worker[T]) Send(dst int32, msg T) { w.stage.Send(dst, msg) }
 
 // VoteToHalt marks the vertex inactive until a message reactivates it.
 func (w *worker[T]) VoteToHalt(v int32) { w.halts = append(w.halts, v) }
@@ -55,16 +73,70 @@ func (w *worker[T]) Aggregate(x float64) { w.agg += x }
 // superstep.
 func (w *worker[T]) Agg() float64 { return w.r.agg }
 
+// reset clears the worker's per-superstep staging, keeping capacity.
+func (w *worker[T]) reset() {
+	w.stage.Reset()
+	w.halts = w.halts[:0]
+	w.agg = 0
+}
+
+// newRunner checks a runner for message type T out of the upload's
+// scratch pool, or builds one. Callers hand it back via release so the
+// next job on this upload starts with warm buffers.
 func newRunner[T any](u *uploaded, msgSize func(T) int64, combine func(a, b T) T) *runner[T] {
+	r := mplane.Acquire(&u.scratch, func() *runner[T] {
+		return &runner[T]{
+			u:         u,
+			slots:     &mplane.Slots[T]{},
+			slotsNext: &mplane.Slots[T]{},
+		}
+	})
 	n := len(u.verts)
-	return &runner[T]{
-		u:       u,
-		msgSize: msgSize,
-		combine: combine,
-		inbox:   make([][]T, n),
-		next:    make([][]T, n),
-		halted:  make([]bool, n),
+	cl := u.Cl
+	r.u = u
+	r.msgSize = msgSize
+	r.combine = combine
+	r.tracker = nil
+	r.halted = mplane.GrowZero(r.halted, n)
+	r.wire = mplane.Grow(r.wire, cl.Machines())
+	if len(r.active) != cl.Machines() {
+		r.active = make([][]int32, cl.Machines())
 	}
+	if len(r.workers) != cl.Machines() {
+		r.workers = make([][]*worker[T], cl.Machines())
+	}
+	for m := range r.workers {
+		if len(r.workers[m]) != cl.Threads() {
+			r.workers[m] = make([]*worker[T], cl.Threads())
+			for i := range r.workers[m] {
+				r.workers[m][i] = &worker[T]{r: r}
+			}
+		}
+	}
+	r.agg, r.aggNext = 0, 0
+	return r
+}
+
+// release returns the runner's buffers to the upload's scratch pool.
+func (r *runner[T]) release() {
+	r.tracker = nil
+	r.u.scratch.Put(r)
+}
+
+// msgs returns the messages delivered to v for the current superstep.
+func (r *runner[T]) msgs(v int32) []T {
+	if r.combine != nil {
+		return r.slots.At(v)
+	}
+	return r.inbox.At(v)
+}
+
+// hasMsgs reports whether v received any message in the last delivery.
+func (r *runner[T]) hasMsgs(v int32) bool {
+	if r.combine != nil {
+		return r.slots.Has(v)
+	}
+	return len(r.inbox.At(v)) > 0
 }
 
 // run executes supersteps until every vertex has halted and no messages
@@ -73,13 +145,17 @@ func newRunner[T any](u *uploaded, msgSize func(T) int64, combine func(a, b T) T
 func (r *runner[T]) run(ctx context.Context, compute func(w *worker[T], v int32, msgs []T, superstep int)) error {
 	cl := r.u.Cl
 	part := r.u.part
+	n := len(r.u.verts)
 	superstep := 0
+	// Superstep 0 has an empty inbox on both paths.
+	r.slots.Begin(n)
+	r.inbox.Begin(n)
+	r.inbox.Seal()
 	// Active vertex lists per machine; initially all vertices.
-	active := make([][]int32, cl.Machines())
-	for m := range active {
-		active[m] = append([]int32(nil), part.Verts[m]...)
+	for m := range r.active {
+		r.active[m] = append(r.active[m][:0], part.Verts[m]...)
 	}
-	total := len(r.u.verts)
+	total := n
 	for total > 0 {
 		if err := platform.CheckContext(ctx); err != nil {
 			return err
@@ -88,40 +164,52 @@ func (r *runner[T]) run(ctx context.Context, compute func(w *worker[T], v int32,
 			r.tracker.Begin(fmt.Sprintf("Superstep-%d", superstep))
 			r.tracker.Annotate("active_vertices", fmt.Sprint(total))
 		}
+		// Open the next round's delivery structures. The current round's
+		// inbox stays readable: Slots double-buffer, and the CSR inbox's
+		// counters are separate from its sealed offsets.
+		if r.combine != nil {
+			r.slotsNext.Begin(n)
+		} else {
+			r.inbox.Begin(n)
+		}
 		var messages int64
 		err := cl.RunRound(func(mach int, th *cluster.Threads) error {
-			verts := active[mach]
-			workers := make([]*worker[T], th.Count())
+			verts := r.active[mach]
+			workers := r.workers[mach]
+			for _, w := range workers {
+				w.reset()
+			}
 			th.ChunksIndexed(len(verts), func(wi, lo, hi int) {
-				w := &worker[T]{r: r}
-				workers[wi] = w
+				w := workers[wi]
 				for _, v := range verts[lo:hi] {
-					compute(w, v, r.inbox[v], superstep)
+					compute(w, v, r.msgs(v), superstep)
 				}
 			})
-			// Deliver staged messages; machines run sequentially, so
-			// appending to any destination inbox is race-free.
-			wire := make([]int64, cl.Machines()) // per-destination-machine bytes
+			// Deliver staged messages; machines run sequentially, so the
+			// shared slots / counters are written race-free, in machine-
+			// major, worker-major, staging order — the same order the
+			// seed's sequential appends delivered in.
+			wire := r.wire[:cl.Machines()]
+			for i := range wire {
+				wire[i] = 0
+			}
 			for _, w := range workers {
-				if w == nil {
-					continue
-				}
 				r.aggNext += w.agg
-				for i, dst := range w.stagedDst {
-					msg := w.stagedMsg[i]
+				for i, dst := range w.stage.Dst {
 					if o := int(part.Owner[dst]); o != mach {
-						wire[o] += r.msgSize(msg) + 4 // payload + recipient id
+						wire[o] += r.msgSize(w.stage.Msg[i]) + 4 // payload + recipient id
 					}
-					if r.combine != nil && len(r.next[dst]) == 1 {
-						r.next[dst][0] = r.combine(r.next[dst][0], msg)
-					} else {
-						r.next[dst] = append(r.next[dst], msg)
+					if r.combine != nil {
+						r.slotsNext.Put(dst, w.stage.Msg[i], r.combine)
 					}
+				}
+				if r.combine == nil {
+					r.inbox.Count(&w.stage)
 				}
 				for _, v := range w.halts {
 					r.halted[v] = true
 				}
-				messages += int64(len(w.stagedDst))
+				messages += int64(w.stage.Len())
 			}
 			for o := 0; o < cl.Machines(); o++ {
 				cl.Send(mach, o, wire[o])
@@ -135,21 +223,34 @@ func (r *runner[T]) run(ctx context.Context, compute func(w *worker[T], v int32,
 		if err != nil {
 			return err
 		}
-		// Barrier: swap inboxes, reactivate message recipients, rebuild
-		// the active lists.
-		r.inbox, r.next = r.next, r.inbox
+		// Barrier: finish delivery, swap inboxes, reactivate message
+		// recipients, rebuild the active lists. The CSR scatter is global
+		// (it needs every machine's counts), so it runs as measured
+		// barrier work rather than inside any one machine's slice of the
+		// round.
+		if r.combine != nil {
+			r.slots, r.slotsNext = r.slotsNext, r.slots
+		} else {
+			cl.RunBarrier(func() {
+				r.inbox.Seal()
+				for m := range r.workers {
+					for _, w := range r.workers[m] {
+						r.inbox.Scatter(&w.stage)
+					}
+				}
+			})
+		}
 		r.agg, r.aggNext = r.aggNext, 0
 		superstep++
 		total = 0
-		for m := range active {
-			active[m] = active[m][:0]
+		for m := range r.active {
+			r.active[m] = r.active[m][:0]
 			for _, v := range part.Verts[m] {
-				r.next[v] = r.next[v][:0]
-				if len(r.inbox[v]) > 0 {
+				if r.hasMsgs(v) {
 					r.halted[v] = false
 				}
 				if !r.halted[v] {
-					active[m] = append(active[m], v)
+					r.active[m] = append(r.active[m], v)
 					total++
 				}
 			}

@@ -22,6 +22,7 @@ import (
 	"graphalytics/internal/cluster"
 	"graphalytics/internal/granula"
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -71,6 +72,10 @@ type uploaded struct {
 	part  *cluster.VertexPartition
 	verts []vertexData
 	bytes []int64
+	// scratch caches the BSP runner (message plane, frontier lists, halt
+	// bitmap) between Execute calls, so repeated jobs on one upload run
+	// allocation-free in steady state.
+	scratch mplane.Pool
 }
 
 func (u *uploaded) Free() {

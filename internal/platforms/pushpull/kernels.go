@@ -7,6 +7,7 @@ import (
 
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -229,10 +230,13 @@ func wcc(ctx context.Context, u *uploaded) ([]int64, int, error) {
 	return out, rounds, nil
 }
 
-// cdlp pulls neighbor labels into per-worker histograms.
+// cdlp pulls neighbor labels into the job-lifetime dense histogram (the
+// simulated threads run sequentially, so one suffices).
 func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 	st, cl, part := u.st, u.Cl, u.part
 	n := st.n
+	hist := mplane.Acquire(&u.scratch, func() *mplane.Histogram { return mplane.NewHistogram(16) })
+	defer u.scratch.Put(hist)
 	labels := make([]int64, n)
 	next := make([]int64, n)
 	for v := int32(0); v < int32(n); v++ {
@@ -245,24 +249,17 @@ func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			verts := part.Verts[mach]
 			th.Chunks(len(verts), func(lo, hi int) {
-				counts := make(map[int64]int, 16)
 				for _, v := range verts[lo:hi] {
-					clear(counts)
+					hist.Reset()
 					for _, in := range st.in(v) {
-						counts[labels[in]]++
+						hist.Add(labels[in])
 					}
 					if st.directed {
 						for _, out := range st.out(v) {
-							counts[labels[out]]++
+							hist.Add(labels[out])
 						}
 					}
-					best, bestCount := labels[v], 0
-					for l, c := range counts {
-						if c > bestCount || (c == bestCount && l < best) {
-							best, bestCount = l, c
-						}
-					}
-					next[v] = best
+					next[v] = hist.Best(labels[v])
 				}
 			})
 			cl.Broadcast(mach, int64(len(verts))*8)

@@ -20,6 +20,7 @@ import (
 	"graphalytics/internal/cluster"
 	"graphalytics/internal/granula"
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -86,6 +87,8 @@ type uploaded struct {
 	part          *cluster.VertexPartition
 	danglingVerts []int32
 	bytes         []int64
+	// scratch caches the CDLP label histogram between Execute calls.
+	scratch mplane.Pool
 }
 
 func (u *uploaded) Free() {

@@ -7,6 +7,7 @@ import (
 
 	"graphalytics/internal/algorithms"
 	"graphalytics/internal/cluster"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -219,10 +220,13 @@ func wcc(ctx context.Context, u *uploaded) ([]int64, error) {
 }
 
 // cdlp runs the deterministic label-propagation iterations as column
-// gathers with a per-worker histogram reduce.
+// gathers with a dense histogram reduce; the histogram is job-lifetime
+// scratch (simulated threads run sequentially, so one suffices).
 func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 	m, cl, part := u.m, u.Cl, u.part
 	n := m.n
+	hist := mplane.Acquire(&u.scratch, func() *mplane.Histogram { return mplane.NewHistogram(16) })
+	defer u.scratch.Put(hist)
 	labels := make([]int64, n)
 	next := make([]int64, n)
 	for v := int32(0); v < int32(n); v++ {
@@ -235,26 +239,19 @@ func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			verts := part.Verts[mach]
 			th.Chunks(len(verts), func(lo, hi int) {
-				counts := make(map[int64]int, 16)
 				for _, v := range verts[lo:hi] {
-					clear(counts)
+					hist.Reset()
 					// Column gather (in-neighbors); undirected graphs have
 					// a symmetric matrix so this is the whole neighborhood.
 					for _, uix := range m.col(v) {
-						counts[labels[uix]]++
+						hist.Add(labels[uix])
 					}
 					if m.directed {
 						for _, uix := range m.row(v) {
-							counts[labels[uix]]++
+							hist.Add(labels[uix])
 						}
 					}
-					best, bestCount := labels[v], 0
-					for l, c := range counts {
-						if c > bestCount || (c == bestCount && l < best) {
-							best, bestCount = l, c
-						}
-					}
-					next[v] = best
+					next[v] = hist.Best(labels[v])
 				}
 			})
 			cl.Broadcast(mach, int64(len(verts))*8)

@@ -21,6 +21,7 @@ import (
 	"graphalytics/internal/cluster"
 	"graphalytics/internal/granula"
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -79,6 +80,8 @@ type uploaded struct {
 	m     *matrix
 	part  *cluster.VertexPartition
 	bytes []int64 // per-machine registered bytes
+	// scratch caches the CDLP label histogram between Execute calls.
+	scratch mplane.Pool
 }
 
 func (u *uploaded) Free() {

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"graphalytics/internal/algorithms"
+	"graphalytics/internal/par"
 )
 
 // Tolerances for floating-point outputs.
@@ -23,6 +24,14 @@ const (
 	AbsEpsilon = 1e-12
 )
 
+// MismatchCap bounds how many mismatches each comparison chunk tallies
+// before it stops scanning: once a chunk has this many, the verdict and
+// the first diff can no longer change, so finishing the scan would only
+// refine a count nobody acts on. A capped report says so (Capped, its
+// Mismatches clamps to exactly MismatchCap so the number is independent
+// of how many chunks scanned in parallel, and Error prints "at least").
+const MismatchCap = 1000
+
 // Report describes the outcome of validating one output against the
 // reference.
 type Report struct {
@@ -30,9 +39,15 @@ type Report struct {
 	OK bool
 	// Checked is the number of per-vertex values compared.
 	Checked int
-	// Mismatches is the number of values that differed.
+	// Mismatches is the number of values that differed. When Capped is
+	// set, it is a lower bound: scanning stopped early once the verdict
+	// was settled.
 	Mismatches int
-	// FirstDiff describes the first differing vertex, for diagnostics.
+	// Capped reports that at least one comparison chunk hit MismatchCap
+	// and stopped counting.
+	Capped bool
+	// FirstDiff describes the first differing vertex (always the lowest
+	// differing index, regardless of how the scan was parallelized).
 	FirstDiff string
 }
 
@@ -41,12 +56,34 @@ func (r Report) Error() error {
 	if r.OK {
 		return nil
 	}
-	return fmt.Errorf("validation: %d of %d values differ; first: %s", r.Mismatches, r.Checked, r.FirstDiff)
+	atLeast := ""
+	if r.Capped {
+		atLeast = "at least "
+	}
+	return fmt.Errorf("validation: %s%d of %d values differ; first: %s", atLeast, r.Mismatches, r.Checked, r.FirstDiff)
+}
+
+// chunkVerdict is one comparison chunk's tally: mismatch count (capped at
+// MismatchCap) and the chunk's first differing index.
+type chunkVerdict struct {
+	mismatches int
+	capped     bool
+	first      int // lowest differing index in the chunk, -1 if none
 }
 
 // Validate compares a platform output against the reference output.
 // The ids slice maps internal vertex indices to external identifiers for
 // diagnostics.
+//
+// The scan is parallelized over internal/par chunks. Determinism: the
+// whole report is independent of the worker count. Per-chunk results are
+// reduced in chunk order, FirstDiff is taken from the lowest-indexed
+// chunk with a mismatch (chunk ranges ascend, so it names the lowest
+// differing vertex), and a capped count clamps to exactly MismatchCap —
+// the per-chunk early exits never leak into the report. Each chunk stops
+// counting at MismatchCap, so validating a massively wrong float output
+// costs one early-exiting pass instead of a full sequential scan after
+// the verdict is known.
 func Validate(got, want *algorithms.Output, ids []int64) Report {
 	r := Report{OK: true}
 	if got == nil {
@@ -63,31 +100,60 @@ func Validate(got, want *algorithms.Output, ids []int64) Report {
 	if got.IsFloat() != want.IsFloat() {
 		return Report{FirstDiff: fmt.Sprintf("output type float=%v, want float=%v", got.IsFloat(), want.IsFloat())}
 	}
-	r.Checked = want.Len()
-	record := func(v int, detail string) {
-		r.OK = false
-		r.Mismatches++
-		if r.FirstDiff == "" {
-			id := int64(v)
-			if v < len(ids) {
-				id = ids[v]
+	n := want.Len()
+	r.Checked = n
+	differs := func(v int) bool { return got.Int[v] != want.Int[v] }
+	if want.Int == nil {
+		differs = func(v int) bool { return !FloatEquivalent(got.Float[v], want.Float[v]) }
+	}
+	p := par.Workers(n)
+	parts := par.Accumulate(n, p, func(_, lo, hi int) chunkVerdict {
+		cv := chunkVerdict{first: -1}
+		for v := lo; v < hi; v++ {
+			if !differs(v) {
+				continue
 			}
-			r.FirstDiff = fmt.Sprintf("vertex %d: %s", id, detail)
+			if cv.first < 0 {
+				cv.first = v
+			}
+			cv.mismatches++
+			if cv.mismatches >= MismatchCap {
+				cv.capped = true
+				break
+			}
+		}
+		return cv
+	})
+	first := -1
+	for _, cv := range parts { // chunk order == index order
+		r.Mismatches += cv.mismatches
+		r.Capped = r.Capped || cv.capped
+		// Chunks that ran no comparisons come back as zero values, so a
+		// chunk's first index only counts when it saw a mismatch.
+		if first < 0 && cv.mismatches > 0 {
+			first = cv.first
 		}
 	}
-	if want.Int != nil {
-		for v := range want.Int {
-			if got.Int[v] != want.Int[v] {
-				record(v, fmt.Sprintf("got %d, want %d", got.Int[v], want.Int[v]))
-			}
-		}
+	if r.Capped {
+		// How far past the cap the tally got depends on the chunk split;
+		// clamp so the reported lower bound is worker-count independent.
+		r.Mismatches = MismatchCap
+	}
+	if first < 0 {
 		return r
 	}
-	for v := range want.Float {
-		if !FloatEquivalent(got.Float[v], want.Float[v]) {
-			record(v, fmt.Sprintf("got %g, want %g", got.Float[v], want.Float[v]))
-		}
+	r.OK = false
+	id := int64(first)
+	if first < len(ids) {
+		id = ids[first]
 	}
+	detail := ""
+	if want.Int != nil {
+		detail = fmt.Sprintf("got %d, want %d", got.Int[first], want.Int[first])
+	} else {
+		detail = fmt.Sprintf("got %g, want %g", got.Float[first], want.Float[first])
+	}
+	r.FirstDiff = fmt.Sprintf("vertex %d: %s", id, detail)
 	return r
 }
 

@@ -60,6 +60,66 @@ func TestValidateStructuralMismatches(t *testing.T) {
 	}
 }
 
+// TestValidateParallelDeterministicFirstDiff builds an output large
+// enough for the chunked scan to use several workers and checks that
+// FirstDiff always names the lowest differing vertex and the count stays
+// exact below the cap.
+func TestValidateParallelDeterministicFirstDiff(t *testing.T) {
+	n := 1 << 16
+	ids := make([]int64, n)
+	w := make([]int64, n)
+	g := make([]int64, n)
+	for i := range w {
+		ids[i] = int64(i) * 10
+		w[i] = int64(i)
+		g[i] = int64(i)
+	}
+	// Mismatches scattered across chunks; the lowest index is 3000.
+	for _, v := range []int{50000, 3000, 61000, 30000} {
+		g[v] = -1
+	}
+	want := &algorithms.Output{Algorithm: algorithms.WCC, Int: w}
+	got := &algorithms.Output{Algorithm: algorithms.WCC, Int: g}
+	rep := validation.Validate(got, want, ids)
+	if rep.OK || rep.Mismatches != 4 || rep.Capped {
+		t.Fatalf("want exactly 4 uncapped mismatches, got %+v", rep)
+	}
+	if rep.FirstDiff != "vertex 30000: got -1, want 3000" {
+		t.Fatalf("FirstDiff must name the lowest differing vertex: %q", rep.FirstDiff)
+	}
+}
+
+// TestValidateMismatchCap verifies a massively wrong output is rejected
+// without an exact full count: the report is marked capped, still fails,
+// and still names the lowest differing vertex.
+func TestValidateMismatchCap(t *testing.T) {
+	n := 1 << 16
+	w := make([]float64, n)
+	g := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i + 1)
+		g[i] = -float64(i + 1) // everything differs
+	}
+	g[0] = w[0] // ...except the very first value
+	want := &algorithms.Output{Algorithm: algorithms.PR, Float: w}
+	got := &algorithms.Output{Algorithm: algorithms.PR, Float: g}
+	rep := validation.Validate(got, want, nil)
+	if rep.OK || !rep.Capped {
+		t.Fatalf("want a capped failure, got %+v", rep)
+	}
+	// The capped count clamps to exactly the cap so the report does not
+	// depend on how many chunks scanned in parallel.
+	if rep.Mismatches != validation.MismatchCap {
+		t.Fatalf("capped count %d, want exactly %d", rep.Mismatches, validation.MismatchCap)
+	}
+	if rep.FirstDiff != "vertex 1: got -2, want 2" {
+		t.Fatalf("FirstDiff = %q", rep.FirstDiff)
+	}
+	if rep.Error() == nil || rep.Error().Error()[:20] != "validation: at least" {
+		t.Fatalf("capped error must say 'at least': %v", rep.Error())
+	}
+}
+
 func TestFloatEquivalent(t *testing.T) {
 	inf := math.Inf(1)
 	cases := []struct {

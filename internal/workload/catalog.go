@@ -13,8 +13,9 @@
 package workload
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"graphalytics/internal/algorithms"
@@ -251,7 +252,7 @@ func UpToClassWith(load func(Dataset) (*graph.Graph, error), max metrics.Class) 
 			keep = append(keep, scored{d: d, s: s})
 		}
 	}
-	sort.Slice(keep, func(i, j int) bool { return keep[i].s < keep[j].s })
+	slices.SortStableFunc(keep, func(a, b scored) int { return cmp.Compare(a.s, b.s) })
 	out := make([]Dataset, len(keep))
 	for i, k := range keep {
 		out[i] = k.d

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine message-plane benchmarks and record a
+# benchstat-friendly snapshot in BENCH_<date>.json at the repository root.
+#
+# The "benchstat" field holds the raw `go test -bench` lines, so
+#   jq -r '.benchstat[]' BENCH_2026-07-26.json > old.txt
+#   jq -r '.benchstat[]' BENCH_2026-08-01.json > new.txt
+#   benchstat old.txt new.txt
+# compares two snapshots; the "results" field carries the same data
+# parsed for scripting. Environment overrides:
+#   BENCH      benchmark regexp        (default BenchmarkEngineExecute)
+#   BENCHTIME  go test -benchtime      (default 3x)
+#   COUNT      go test -count          (default 1; raise for benchstat CIs)
+#   OUT        output file             (default BENCH_<date>.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-BenchmarkEngineExecute}
+BENCHTIME=${BENCHTIME:-3x}
+COUNT=${COUNT:-1}
+OUT=${OUT:-BENCH_$(date +%F).json}
+
+raw=$(go test -run=NONE -bench="$BENCH" -benchtime="$BENCHTIME" -count="$COUNT" -benchmem . |
+	grep -E '^(Benchmark|goos:|goarch:|pkg:|cpu:)')
+
+awk -v date="$(date +%F)" -v goversion="$(go env GOVERSION)" \
+	-v bench="$BENCH" -v benchtime="$BENCHTIME" -v count="$COUNT" '
+function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); gsub(/\t/, "\\t", s); return s }
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, goversion
+	printf "  \"bench\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"count\": %s,\n", jesc(bench), benchtime, count
+	nres = 0; nraw = 0
+}
+{ rawline[nraw++] = $0 }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { cpu = $0; sub(/^cpu: /, "", cpu) }
+/^Benchmark/ {
+	name = $1; iters = $2; ns = $3; bytes = "null"; allocs = "null"
+	for (i = 4; i <= NF; i++) {
+		if ($i == "B/op") bytes = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	res[nres++] = sprintf("{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+		jesc(name), iters, ns, bytes, allocs)
+}
+END {
+	printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, jesc(cpu)
+	printf "  \"results\": [\n"
+	for (i = 0; i < nres; i++) printf "    %s%s\n", res[i], (i < nres - 1 ? "," : "")
+	printf "  ],\n  \"benchstat\": [\n"
+	for (i = 0; i < nraw; i++) printf "    \"%s\"%s\n", jesc(rawline[i]), (i < nraw - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' <<<"$raw" >"$OUT"
+
+echo "wrote $OUT"
