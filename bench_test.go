@@ -675,3 +675,54 @@ func BenchmarkRefKernelLCC(b *testing.B) {
 		})
 	}
 }
+
+// ---- Plan pipeline benchmarks (Spec -> Plan -> Run) ----
+
+// BenchmarkPlanSharedUpload measures what deployment-group upload leasing
+// saves: the canonical algorithm-sweep plan (1 platform x 1 dataset x 5
+// algorithms) on the largest stand-in, executed with one shared upload
+// per deployment (shared) versus one upload per job (perjob, the
+// pre-redesign behavior and RunAll's). The gas engine's vertex-cut upload
+// is the costliest of the six engines, so it bounds the benefit from
+// above among single-deployment sweeps; validation is off so only
+// harness-visible work is timed.
+func BenchmarkPlanSharedUpload(b *testing.B) {
+	if _, err := workload.Load(largestStandIn); err != nil {
+		b.Fatal(err)
+	}
+	plan, err := graphalytics.CompileSpec(graphalytics.BenchSpec{
+		Name:       "shared-upload",
+		Platforms:  []string{"gas"},
+		Datasets:   graphalytics.DatasetSelector{IDs: []string{largestStandIn}},
+		Algorithms: []graphalytics.Algorithm{graphalytics.BFS, graphalytics.PR, graphalytics.WCC, graphalytics.CDLP, graphalytics.LCC},
+		Configs:    []graphalytics.ResourceSpec{{Threads: 2, Machines: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		share bool
+	}{{"shared", true}, {"perjob", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := graphalytics.NewSession(
+				graphalytics.WithValidation(false),
+				graphalytics.WithParallelism(1),
+				graphalytics.WithSLA(benchSLA),
+				graphalytics.WithUploadSharing(mode.share),
+			)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := s.RunPlan(context.Background(), plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Status != graphalytics.StatusOK {
+						b.Fatalf("%s/%s: %s (%s)", res.Spec.Platform, res.Spec.Algorithm, res.Status, res.Error)
+					}
+				}
+			}
+		})
+	}
+}

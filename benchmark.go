@@ -1,6 +1,7 @@
 package graphalytics
 
 import (
+	"context"
 	"time"
 
 	"graphalytics/internal/cluster"
@@ -247,7 +248,7 @@ func GenerateGraph500(cfg Graph500Config) (*Graph, error) { return graph500.Gene
 // single-machine platform (the renewal process of Section 2.4).
 func RenewClassL(platformName string, threads int, budget time.Duration) (string, error) {
 	timer := func(g *Graph, source int64) (time.Duration, error) {
-		res, err := RunWithTimeout(platformName, g, BFS, Params{Source: source},
+		res, err := RunWithBudget(context.Background(), platformName, g, BFS, Params{Source: source},
 			RunConfig{Threads: threads, Machines: 1}, budget*10)
 		if err != nil {
 			return 0, err

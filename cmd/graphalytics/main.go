@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"graphalytics"
@@ -48,6 +49,8 @@ func main() {
 		err = cmdList(os.Args[2:])
 	case "run":
 		err = cmdRun(ctx, os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
 	case "suite":
 		err = cmdSuite(ctx, os.Args[2:])
 	case "warm":
@@ -69,14 +72,22 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|suite|warm|renewal|validate|bench> [flags]
+	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|plan|suite|warm|renewal|validate|bench> [flags]
   list                      print platforms, datasets and the workload survey
   run     -platform -dataset -algorithm [-threads -machines -archive] [-cache-dir DIR]
+  run     -spec spec.json [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
+  plan    -spec spec.json [-json]        compile a spec and print the plan (dry run)
   suite   -id <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table8|table9|table10|table11|all> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
   warm    -cache-dir DIR [-parallel N]   materialize the catalog into a snapshot cache
   renewal -budget <duration> [-platform native]
   validate -algorithm <name> -got <file> -want <file>
   bench   -description <file.json> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
+
+A spec file is a declarative benchmark definition (platforms, datasets by
+ID or scale class, algorithms, resource sweeps, repetitions, SLA,
+validation policy). 'plan' shows the compiled job listing grouped into
+shared-upload deployments without running anything; 'run -spec' executes
+it, paying one graph upload per deployment group.
 
 -cache-dir persists datasets as binary CSR snapshots: the first run
 generates and caches them, later runs (and 'warm'-ed caches) load the
@@ -163,8 +174,106 @@ func orDash(s string) string {
 	return s
 }
 
+// cmdPlan compiles a benchmark spec and prints the resulting plan — the
+// dry run of the Spec → Plan → Run pipeline. The listing is deterministic
+// for a given spec and catalog, so it can be diffed against a golden
+// file (CI does).
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	specPath := fs.String("spec", "", "benchmark spec JSON file (required)")
+	asJSON := fs.Bool("json", false, "emit the compiled plan as JSON instead of a listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("plan: -spec is required")
+	}
+	sp, err := graphalytics.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	plan, err := graphalytics.CompileSpec(*sp)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return plan.WriteJSON(os.Stdout)
+	}
+	return plan.Render(os.Stdout)
+}
+
+// runSpec executes a benchmark spec end to end: compile to a plan, run it
+// with shared uploads, stream results to the sinks (-out JSONL, a report
+// table) and print the cross-platform analysis.
+func runSpec(ctx context.Context, specPath, out string, parallel int, progress bool, cacheDir string) error {
+	sp, err := graphalytics.LoadSpec(specPath)
+	if err != nil {
+		return err
+	}
+	table := graphalytics.NewReportSink(sp.Name, "spec results: "+sp.Name)
+	opts := []graphalytics.Option{
+		graphalytics.WithParallelism(parallel),
+		graphalytics.WithSink(table),
+	}
+	if progress {
+		opts = append(opts, graphalytics.WithObserver(progressObserver(os.Stderr)))
+	}
+	if cacheDir != "" {
+		opts = append(opts, graphalytics.WithCacheDir(cacheDir))
+	}
+	var outFile *os.File
+	if out != "" {
+		outFile, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer outFile.Close()
+		opts = append(opts, graphalytics.WithSink(graphalytics.NewJSONLSink(outFile)))
+	}
+	s := graphalytics.NewSession(opts...)
+	plan, err := s.Compile(*sp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan %s: %d jobs in %d deployments (%d uploads instead of %d)\n",
+		plan.Name, len(plan.Jobs), len(plan.Deployments), len(plan.Deployments), len(plan.Jobs))
+	results, err := s.RunPlan(ctx, plan)
+	// A failing sink (e.g. the -out file's disk filling up) must not
+	// discard a completed run: render the report and analysis, then
+	// surface the sink error.
+	var sinkErr error
+	if err != nil {
+		if !graphalytics.SinkOnly(err) {
+			return err
+		}
+		sinkErr = err
+	}
+	ok := 0
+	for _, res := range results {
+		if res.Completed() {
+			ok++
+		}
+	}
+	if err := table.Report().Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("%d/%d jobs completed\n", ok, len(results))
+	rep := core.AnalysisReport(s.DB())
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	if outFile != nil {
+		fmt.Printf("%d results streamed to %s\n", len(results), outFile.Name())
+	}
+	if sinkErr != nil {
+		return sinkErr
+	}
+	return ctx.Err()
+}
+
 func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "benchmark spec JSON file; runs the compiled plan instead of a single job")
 	platformName := fs.String("platform", "native", "engine to run on")
 	dataset := fs.String("dataset", "D300", "dataset ID from the catalog")
 	algorithm := fs.String("algorithm", "BFS", "one of BFS PR WCC CDLP LCC SSSP")
@@ -173,9 +282,27 @@ func cmdRun(ctx context.Context, args []string) error {
 	sla := fs.Duration("sla", time.Minute, "makespan budget")
 	archivePath := fs.String("archive", "", "write the Granula archive JSON to this path")
 	outputPath := fs.String("output", "", "write the per-vertex output in the Graphalytics output format")
+	out := fs.String("out", "", "with -spec: write the results database (JSON lines) to this path")
+	parallel := fs.Int("parallel", 1, "with -spec: concurrent jobs (1 preserves timing fidelity)")
+	progress := fs.Bool("progress", false, "with -spec: stream per-job progress to stderr")
 	cacheDir := fs.String("cache-dir", "", "load/persist datasets as binary snapshots under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *specPath != "" {
+		// The single-job flags have no effect in spec mode; reject them
+		// loudly instead of silently dropping what the user asked for.
+		specFlags := map[string]bool{"spec": true, "out": true, "parallel": true, "progress": true, "cache-dir": true}
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			if !specFlags[f.Name] {
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("run: %s cannot be combined with -spec (the spec defines the jobs)", strings.Join(stray, " "))
+		}
+		return runSpec(ctx, *specPath, *out, *parallel, *progress, *cacheDir)
 	}
 
 	var g *graphalytics.Graph
@@ -197,13 +324,15 @@ func cmdRun(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	up, err := pl.Upload(g, platform.RunConfig{Threads: *threads, Machines: *machines, Net: graphalytics.DefaultNetwork()})
+	// The SLA window opens before upload, and the upload itself is
+	// cancellable: all bundled engines implement platform.ContextUploader.
+	jctx, cancel := context.WithTimeout(ctx, *sla)
+	defer cancel()
+	up, err := platform.UploadContext(jctx, pl, g, platform.RunConfig{Threads: *threads, Machines: *machines, Net: graphalytics.DefaultNetwork()})
 	if err != nil {
 		return err
 	}
 	defer up.Free()
-	jctx, cancel := context.WithTimeout(ctx, *sla)
-	defer cancel()
 	res, err := pl.Execute(jctx, up, algorithms.Algorithm(*algorithm), d.Params)
 	if err != nil {
 		return err

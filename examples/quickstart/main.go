@@ -86,19 +86,37 @@ func main() {
 		fmt.Println()
 	}
 
-	// Finally, the harness proper: a Session adds SLA enforcement,
-	// validation against a cached reference, and a results database
-	// around the same engines, driven by a single context.
-	s := graphalytics.NewSession(graphalytics.WithSLA(30 * time.Second))
-	job, err := s.RunJob(context.Background(), graphalytics.JobSpec{
-		Platform: "native", Dataset: "R1", Algorithm: graphalytics.BFS,
-		Threads: 2, Machines: 1,
-	})
-	if err != nil {
-		log.Fatalf("harness job: %v", err)
+	// Finally, the harness proper: declare a benchmark spec, compile it
+	// into an explicit plan, and run the plan through a Session — which
+	// adds SLA enforcement, validation against a cached reference and a
+	// results database, and pays one graph upload per deployment group
+	// (here: one upload for all three algorithms).
+	spec := graphalytics.BenchSpec{
+		Name:       "quickstart",
+		Platforms:  []string{"native"},
+		Datasets:   graphalytics.DatasetSelector{IDs: []string{"R1"}},
+		Algorithms: []graphalytics.Algorithm{graphalytics.BFS, graphalytics.PR, graphalytics.WCC},
+		Configs:    []graphalytics.ResourceSpec{{Threads: 2, Machines: 1}},
+		SLA:        graphalytics.SpecDuration(30 * time.Second),
 	}
-	fmt.Printf("\nharness job on catalog dataset R1: status=%s upload=%v makespan=%v validated=%v\n",
-		job.Status, job.UploadTime, job.Makespan, job.ValidationOK)
+	s := graphalytics.NewSession()
+	plan, err := s.Compile(spec)
+	if err != nil {
+		log.Fatalf("compile spec: %v", err)
+	}
+	fmt.Printf("\ncompiled plan %s: %d jobs in %d deployment(s)\n", plan.Name, len(plan.Jobs), len(plan.Deployments))
+	results, err := s.RunPlan(context.Background(), plan)
+	if err != nil {
+		log.Fatalf("run plan: %v", err)
+	}
+	for _, job := range results {
+		shared := ""
+		if job.UploadShared {
+			shared = " (shared)"
+		}
+		fmt.Printf("  %s on R1: status=%s upload=%v%s makespan=%v validated=%v\n",
+			job.Spec.Algorithm, job.Status, job.UploadTime, shared, job.Makespan, job.ValidationOK)
+	}
 	fmt.Printf("results database now holds %d record(s)\n", s.DB().Len())
 }
 

@@ -38,12 +38,21 @@ func main() {
 		graphalytics.WithObserver(progress),
 	)
 
-	// Vertical: one machine, growing thread count, every platform.
-	fmt.Println("Vertical scalability (BFS + PR on D300, 1 machine):")
-	rep, err := s.VerticalScalability(ctx, graphalytics.ExperimentConfig{
+	// Vertical: one machine, growing thread count, every platform. The
+	// experiment is a spec builder — preview what it compiles to before
+	// running it: each (platform, threads) deployment uploads once and
+	// runs both algorithms on the shared handle.
+	vertCfg := graphalytics.ExperimentConfig{
 		Platforms:   graphalytics.SingleMachinePlatforms(),
 		ThreadSweep: []int{1, 2, 4, 8},
-	})
+	}
+	plan, err := s.Compile(graphalytics.VerticalScalabilitySpec(vertCfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Vertical scalability (BFS + PR on D300, 1 machine): %d jobs, %d uploads\n",
+		len(plan.Jobs), len(plan.Deployments))
+	rep, err := s.VerticalScalability(ctx, vertCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

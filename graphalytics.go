@@ -117,7 +117,11 @@ func PaperName(engine string) string {
 }
 
 // Run executes one algorithm on one platform end to end (upload, execute,
-// free) and returns the platform result. It is the simplest entry point:
+// free) and returns the platform result. The context gates the whole job:
+// all bundled engines honor it during upload too (they implement
+// platform.ContextUploader), so a deadline or cancellation interrupts a
+// pathological upload instead of waiting it out. It is the simplest entry
+// point:
 //
 //	res, err := graphalytics.Run(ctx, "native", g, graphalytics.BFS,
 //	    graphalytics.Params{Source: 1}, graphalytics.RunConfig{Threads: 4})
@@ -126,22 +130,35 @@ func Run(ctx context.Context, platformName string, g *Graph, a Algorithm, p Para
 	if err != nil {
 		return nil, err
 	}
-	up, err := pl.Upload(g, cfg)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	up, err := platform.UploadContext(ctx, pl, g, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("graphalytics: upload to %s: %w", platformName, err)
 	}
 	defer up.Free()
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	return pl.Execute(ctx, up, a, p)
 }
 
-// RunWithTimeout is Run with an SLA-style makespan budget.
-func RunWithTimeout(platformName string, g *Graph, a Algorithm, p Params, cfg RunConfig, budget time.Duration) (*Result, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), budget)
+// RunWithBudget is Run bounded by an SLA-style makespan budget layered
+// onto ctx: the deadline covers upload plus execution, and cancelling ctx
+// aborts the job early.
+func RunWithBudget(ctx context.Context, platformName string, g *Graph, a Algorithm, p Params, cfg RunConfig, budget time.Duration) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
-	return Run(ctx, platformName, g, a, p, cfg)
+	return Run(bctx, platformName, g, a, p, cfg)
+}
+
+// RunWithTimeout is Run with an SLA-style makespan budget.
+//
+// Deprecated: use RunWithBudget, which takes a context, so callers can
+// also cancel the job early; RunWithTimeout cannot be interrupted.
+func RunWithTimeout(platformName string, g *Graph, a Algorithm, p Params, cfg RunConfig, budget time.Duration) (*Result, error) {
+	return RunWithBudget(context.Background(), platformName, g, a, p, cfg, budget)
 }
 
 // Reference computes the reference output that defines correctness for an

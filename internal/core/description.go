@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -113,15 +114,31 @@ func (d *Description) Jobs() ([]JobSpec, error) {
 	return jobs, nil
 }
 
-// RunDescription executes the full job matrix of a description through
-// the session's scheduler and returns one result per job, in matrix
-// order regardless of the session's parallelism.
-func (s *Session) RunDescription(ctx context.Context, d *Description) ([]JobResult, error) {
+// Compile expands the description into an executable Plan: the job
+// matrix in matrix order, grouped into deployments so every
+// (platform, dataset) pair uploads once for all its algorithms and
+// repetitions. A Description is the legacy single-sweep ancestor of
+// BenchSpec; new code should write specs.
+func (d *Description) Compile() (*Plan, error) {
 	jobs, err := d.Jobs()
 	if err != nil {
 		return nil, err
 	}
-	return s.RunAll(ctx, jobs)
+	return PlanFromSpecs(d.Name, jobs), nil
+}
+
+// RunDescription compiles the description and executes its plan through
+// the session's scheduler, returning one result per job in matrix order
+// regardless of the session's parallelism. Jobs sharing a
+// (platform, dataset, resources) deployment share one upload; pass
+// WithUploadSharing(false) at session construction to restore per-job
+// uploads.
+func (s *Session) RunDescription(ctx context.Context, d *Description) ([]JobResult, error) {
+	plan, err := d.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return s.RunPlan(ctx, plan)
 }
 
 // RunDescription executes the full job matrix of a description through
@@ -138,14 +155,18 @@ func RunDescription(r *Runner, d *Description) ([]JobResult, error) {
 	}
 	s := r.Session()
 	results := make([]JobResult, 0, len(jobs))
+	var sinkErrs []error
 	for _, spec := range jobs {
 		res, err := s.RunJob(context.Background(), spec)
 		if err != nil {
-			return results, err
+			if !errors.Is(err, ErrSink) {
+				return results, err
+			}
+			sinkErrs = append(sinkErrs, err)
 		}
 		results = append(results, res)
 	}
-	return results, nil
+	return results, errors.Join(sinkErrs...)
 }
 
 // WriteDescription serializes a description as JSON.

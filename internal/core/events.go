@@ -19,6 +19,11 @@ const (
 	// generation ("built") — the observable difference between a warmed
 	// harness and one regenerating everything.
 	EventDatasetMaterialized EventType = "dataset-materialized"
+	// EventDeploymentUploaded fires once per deployment group of a
+	// RunPlan execution, when the group's single shared upload completes:
+	// Spec is the job that performed it and Elapsed the upload wall time.
+	// Counting these events counts real uploads.
+	EventDeploymentUploaded EventType = "deployment-uploaded"
 )
 
 // Event is one progress notification. Job events carry the spec and — on

@@ -3,6 +3,7 @@ package core
 import (
 	"cmp"
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"time"
@@ -12,10 +13,12 @@ import (
 	"graphalytics/internal/workload"
 )
 
-// This file implements the experiment suites of Table 6. Each experiment
-// expands its job matrix into specs, schedules them through the session's
-// worker pool, and renders the rows of the paper artifact it regenerates.
-// Section numbers refer to the paper.
+// This file implements the experiment suites of Table 6 on the Spec →
+// Plan → Run pipeline. Each experiment is a spec builder (XxxSpec)
+// returning the declarative BenchSpec of its job matrix; the Session
+// method compiles that spec into a plan, executes it with shared uploads
+// through RunPlan, and renders the rows of the paper artifact it
+// regenerates. Section numbers refer to the paper.
 
 // ExperimentConfig parameterizes the experiment suites: which platforms to
 // sweep, the resource axes, and the experiment-specific knobs. Zero values
@@ -60,43 +63,78 @@ func effectivePlatform(name string, a algorithms.Algorithm) string {
 	return name
 }
 
-// jobMatrix couples each spec of an experiment sweep with the code that
-// consumes its result, so a sweep is declared in a single loop nest: the
-// specs run through the session's scheduler, then the consumers fire in
-// spec order.
-type jobMatrix struct {
-	specs   []JobSpec
-	consume []func(JobResult)
+// planResults indexes a plan's results for report assembly. Keys are job
+// specs with the SLA field cleared, so report code can look jobs up
+// without re-deriving the spec-level SLA stamp; repetitions of the same
+// job accumulate in plan order.
+type planResults map[JobSpec][]JobResult
+
+func indexResults(results []JobResult) planResults {
+	m := make(planResults, len(results))
+	for _, r := range results {
+		k := r.Spec
+		k.SLA = 0
+		m[k] = append(m[k], r)
+	}
+	return m
 }
 
-func (m *jobMatrix) add(spec JobSpec, fn func(JobResult)) {
-	m.specs = append(m.specs, spec)
-	m.consume = append(m.consume, fn)
+// get returns the (first) result of a job, erroring on a spec the plan
+// never ran — a bug in the experiment's spec builder, not a job failure.
+func (m planResults) get(spec JobSpec) (JobResult, error) {
+	spec.SLA = 0
+	rs := m[spec]
+	if len(rs) == 0 {
+		return JobResult{}, fmt.Errorf("core: no plan result for %s/%s/%s t=%d m=%d",
+			spec.Platform, spec.Dataset, spec.Algorithm, spec.Threads, spec.Machines)
+	}
+	return rs[0], nil
 }
 
-func (m *jobMatrix) run(ctx context.Context, s *Session) error {
-	results, err := s.RunAll(ctx, m.specs)
+// all returns every repetition of a job, in plan order.
+func (m planResults) all(spec JobSpec) []JobResult {
+	spec.SLA = 0
+	return m[spec]
+}
+
+// runSpec compiles an experiment spec, executes the plan and indexes its
+// results — the shared execution path of every experiment method. A
+// non-nil error alongside a non-nil index is sink-only (SinkOnly): the
+// jobs completed, so the caller finishes its report and returns both.
+func (s *Session) runSpec(ctx context.Context, spec BenchSpec, opts ...Option) (planResults, error) {
+	plan, err := s.Compile(spec)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return err
+	results, err := s.RunPlan(ctx, plan, opts...)
+	if err != nil && !SinkOnly(err) {
+		return nil, err
 	}
-	for i, fn := range m.consume {
-		fn(results[i])
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
 	}
-	return nil
+	return indexResults(results), err
 }
 
-// cellAppender returns a consumer appending the result's report cell to
-// the row at index ri of the report.
-func cellAppender(rep *Report, ri int) func(JobResult) {
-	return func(res JobResult) { rep.Rows[ri] = append(rep.Rows[ri], cell(res)) }
+// DatasetVarietySpec declares the Figure 4 matrix: BFS and PageRank on
+// every dataset up to class L, on a single machine, for every platform.
+// An empty platform list declares an empty matrix.
+func DatasetVarietySpec(cfg ExperimentConfig) BenchSpec {
+	if len(cfg.Platforms) == 0 {
+		return BenchSpec{Name: "fig4"}
+	}
+	return BenchSpec{
+		Name:       "fig4",
+		Platforms:  cfg.Platforms,
+		Datasets:   DatasetSelector{MaxClass: string(metrics.ClassL)},
+		Algorithms: []algorithms.Algorithm{algorithms.BFS, algorithms.PR},
+		Configs:    []ResourceSpec{{Threads: cfg.Threads, Machines: 1}},
+	}
 }
 
-// DatasetVariety (Section 4.1, Figure 4): BFS and PageRank on every
-// dataset up to class L, on a single machine, for every platform. Reads
-// Platforms and Threads.
+// DatasetVariety (Section 4.1, Figure 4) compiles DatasetVarietySpec and
+// runs it: one upload per (platform, dataset) deployment covers both
+// algorithms. Reads Platforms and Threads.
 func (s *Session) DatasetVariety(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
 	datasets, err := workload.UpToClassWith(s.loadGraph, metrics.ClassL)
@@ -105,12 +143,25 @@ func (s *Session) DatasetVariety(ctx context.Context, cfg ExperimentConfig) (*Re
 	}
 	finish := s.experimentSpan("fig4")
 	defer finish()
+	spec := DatasetVarietySpec(cfg)
+	if len(cfg.Platforms) > 0 {
+		// The row axis above already resolved the class-L selection; pin
+		// the explicit IDs so Compile does not re-materialize the filter.
+		ids := make([]string, len(datasets))
+		for i, d := range datasets {
+			ids[i] = d.ID
+		}
+		spec.Datasets = DatasetSelector{IDs: ids}
+	}
+	idx, sinkErr := s.runSpec(ctx, spec)
+	if idx == nil {
+		return nil, sinkErr
+	}
 	rep := &Report{
 		ID:      "fig4",
 		Title:   "Dataset variety: Tproc for BFS and PR, single machine",
 		Columns: append([]string{"dataset", "class", "algorithm"}, cfg.Platforms...),
 	}
-	var m jobMatrix
 	for _, d := range datasets {
 		g, err := s.loadGraph(d)
 		if err != nil {
@@ -118,18 +169,18 @@ func (s *Session) DatasetVariety(ctx context.Context, cfg ExperimentConfig) (*Re
 		}
 		class := string(workload.Class(g))
 		for _, a := range []algorithms.Algorithm{algorithms.BFS, algorithms.PR} {
-			rep.Rows = append(rep.Rows, []string{fmt.Sprintf("%s(%s)", d.ID, class), class, string(a)})
-			ri := len(rep.Rows) - 1
+			row := []string{fmt.Sprintf("%s(%s)", d.ID, class), class, string(a)}
 			for _, p := range cfg.Platforms {
-				m.add(JobSpec{Platform: p, Dataset: d.ID, Algorithm: a, Threads: cfg.Threads, Machines: 1},
-					cellAppender(rep, ri))
+				res, err := idx.get(JobSpec{Platform: p, Dataset: d.ID, Algorithm: a, Threads: cfg.Threads, Machines: 1})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, cell(res))
 			}
+			rep.Rows = append(rep.Rows, row)
 		}
 	}
-	if err := m.run(ctx, s); err != nil {
-		return nil, err
-	}
-	return rep, nil
+	return rep, sinkErr
 }
 
 // ThroughputReport (Section 4.1, Figure 5) derives EPS and EVPS for BFS
@@ -161,69 +212,137 @@ func (s *Session) ThroughputReport(cfg ExperimentConfig) *Report {
 	return ThroughputReport(s.cfg.db, cfg.Platforms)
 }
 
-// AlgorithmVariety (Section 4.2, Figure 6): all six algorithms on the two
-// weighted graphs R4(S) and D300(L). Reads Platforms and Threads.
+// algorithmVarietyDatasets are the two weighted graphs of Figure 6.
+var algorithmVarietyDatasets = []string{"R4", "D300"}
+
+// AlgorithmVarietySpec declares the Figure 6 matrix: all six algorithms
+// on R4(S) and D300(L). SSSP jobs for platforms with a distributed
+// substitute backend (spmv-s → spmv-d) land in a second sweep on the
+// substitute, mirroring the paper's footnote. An empty platform list
+// declares an empty matrix.
+func AlgorithmVarietySpec(cfg ExperimentConfig) BenchSpec {
+	if len(cfg.Platforms) == 0 {
+		return BenchSpec{Name: "fig6"}
+	}
+	nonSSSP := make([]algorithms.Algorithm, 0, len(algorithms.All)-1)
+	for _, a := range algorithms.All {
+		if a != algorithms.SSSP {
+			nonSSSP = append(nonSSSP, a)
+		}
+	}
+	var ssspPlatforms []string
+	for _, p := range cfg.Platforms {
+		eff := effectivePlatform(p, algorithms.SSSP)
+		if !slices.Contains(ssspPlatforms, eff) {
+			ssspPlatforms = append(ssspPlatforms, eff)
+		}
+	}
+	spec := BenchSpec{
+		Name:       "fig6",
+		Platforms:  cfg.Platforms,
+		Datasets:   DatasetSelector{IDs: algorithmVarietyDatasets},
+		Algorithms: nonSSSP,
+		Configs:    []ResourceSpec{{Threads: cfg.Threads, Machines: 1}},
+	}
+	if len(ssspPlatforms) > 0 {
+		spec.Sweeps = append(spec.Sweeps, Sweep{
+			Platforms:  ssspPlatforms,
+			Datasets:   DatasetSelector{IDs: algorithmVarietyDatasets},
+			Algorithms: []algorithms.Algorithm{algorithms.SSSP},
+			Configs:    []ResourceSpec{{Threads: cfg.Threads, Machines: 1}},
+		})
+	}
+	return spec
+}
+
+// AlgorithmVariety (Section 4.2, Figure 6) compiles AlgorithmVarietySpec
+// and runs it: each (platform, dataset) deployment uploads once for its
+// five non-SSSP algorithms. Reads Platforms and Threads.
 func (s *Session) AlgorithmVariety(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
 	finish := s.experimentSpan("fig6")
 	defer finish()
+	idx, sinkErr := s.runSpec(ctx, AlgorithmVarietySpec(cfg))
+	if idx == nil {
+		return nil, sinkErr
+	}
 	rep := &Report{
 		ID:      "fig6",
 		Title:   "Algorithm variety: Tproc for all core algorithms on R4(S) and D300(L)",
 		Columns: append([]string{"dataset", "algorithm"}, cfg.Platforms...),
 	}
-	var m jobMatrix
-	for _, ds := range []string{"R4", "D300"} {
+	for _, ds := range algorithmVarietyDatasets {
 		for _, a := range algorithms.All {
-			rep.Rows = append(rep.Rows, []string{ds, string(a)})
-			ri := len(rep.Rows) - 1
+			row := []string{ds, string(a)}
 			for _, p := range cfg.Platforms {
 				eff := effectivePlatform(p, a)
-				substituted := eff != p
-				m.add(JobSpec{Platform: eff, Dataset: ds, Algorithm: a, Threads: cfg.Threads, Machines: 1},
-					func(res JobResult) {
-						c := cell(res)
-						if substituted && res.Status == StatusOK {
-							c += " (D)"
-						}
-						rep.Rows[ri] = append(rep.Rows[ri], c)
-					})
+				res, err := idx.get(JobSpec{Platform: eff, Dataset: ds, Algorithm: a, Threads: cfg.Threads, Machines: 1})
+				if err != nil {
+					return nil, err
+				}
+				c := cell(res)
+				if eff != p && res.Status == StatusOK {
+					c += " (D)"
+				}
+				row = append(row, c)
 			}
+			rep.Rows = append(rep.Rows, row)
 		}
 	}
-	if err := m.run(ctx, s); err != nil {
-		return nil, err
-	}
-	return rep, nil
+	return rep, sinkErr
 }
 
-// VerticalScalability (Section 4.3, Figure 7): BFS and PageRank on
-// D300(L) with a growing thread count on one machine. Reads Platforms and
-// ThreadSweep.
+// VerticalScalabilitySpec declares the Figure 7 matrix: BFS and PageRank
+// on D300(L) across the thread sweep on one machine. An empty platform
+// list or thread sweep declares an empty matrix.
+func VerticalScalabilitySpec(cfg ExperimentConfig) BenchSpec {
+	if len(cfg.Platforms) == 0 || len(cfg.ThreadSweep) == 0 {
+		return BenchSpec{Name: "fig7"}
+	}
+	configs := make([]ResourceSpec, 0, len(cfg.ThreadSweep))
+	for _, t := range cfg.ThreadSweep {
+		configs = append(configs, ResourceSpec{Threads: t, Machines: 1})
+	}
+	return BenchSpec{
+		Name:       "fig7",
+		Platforms:  cfg.Platforms,
+		Datasets:   DatasetSelector{IDs: []string{"D300"}},
+		Algorithms: []algorithms.Algorithm{algorithms.BFS, algorithms.PR},
+		Configs:    configs,
+	}
+}
+
+// VerticalScalability (Section 4.3, Figure 7) compiles
+// VerticalScalabilitySpec and runs it: each thread count is its own
+// deployment (engines lay data out per configuration), shared by both
+// algorithms. Reads Platforms and ThreadSweep.
 func (s *Session) VerticalScalability(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
 	finish := s.experimentSpan("fig7")
 	defer finish()
+	idx, sinkErr := s.runSpec(ctx, VerticalScalabilitySpec(cfg))
+	if idx == nil {
+		return nil, sinkErr
+	}
 	rep := &Report{
 		ID:      "fig7",
 		Title:   "Vertical scalability: Tproc vs. threads, BFS and PR on D300(L)",
 		Columns: append([]string{"algorithm", "threads"}, cfg.Platforms...),
 	}
-	var m jobMatrix
 	for _, a := range []algorithms.Algorithm{algorithms.BFS, algorithms.PR} {
 		for _, t := range cfg.ThreadSweep {
-			rep.Rows = append(rep.Rows, []string{string(a), fmt.Sprint(t)})
-			ri := len(rep.Rows) - 1
+			row := []string{string(a), fmt.Sprint(t)}
 			for _, p := range cfg.Platforms {
-				m.add(JobSpec{Platform: p, Dataset: "D300", Algorithm: a, Threads: t, Machines: 1},
-					cellAppender(rep, ri))
+				res, err := idx.get(JobSpec{Platform: p, Dataset: "D300", Algorithm: a, Threads: t, Machines: 1})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, cell(res))
 			}
+			rep.Rows = append(rep.Rows, row)
 		}
 	}
-	if err := m.run(ctx, s); err != nil {
-		return nil, err
-	}
-	return rep, nil
+	return rep, sinkErr
 }
 
 // VerticalSpeedupReport (Table 9) derives the maximum speedup per platform
@@ -263,33 +382,55 @@ func (s *Session) VerticalSpeedupReport(cfg ExperimentConfig) *Report {
 	return VerticalSpeedupReport(s.cfg.db, cfg.Platforms)
 }
 
-// StrongScaling (Section 4.4, Figure 8): BFS and PageRank on D1000(XL)
-// while doubling the machine count, dataset constant. Reads Platforms,
-// MachineSweep and Threads.
+// StrongScalingSpec declares the Figure 8 matrix: BFS and PageRank on
+// D1000(XL) across the machine sweep, dataset constant. An empty
+// platform list or machine sweep declares an empty matrix.
+func StrongScalingSpec(cfg ExperimentConfig) BenchSpec {
+	if len(cfg.Platforms) == 0 || len(cfg.MachineSweep) == 0 {
+		return BenchSpec{Name: "fig8"}
+	}
+	configs := make([]ResourceSpec, 0, len(cfg.MachineSweep))
+	for _, m := range cfg.MachineSweep {
+		configs = append(configs, ResourceSpec{Threads: cfg.Threads, Machines: m})
+	}
+	return BenchSpec{
+		Name:       "fig8",
+		Platforms:  cfg.Platforms,
+		Datasets:   DatasetSelector{IDs: []string{"D1000"}},
+		Algorithms: []algorithms.Algorithm{algorithms.BFS, algorithms.PR},
+		Configs:    configs,
+	}
+}
+
+// StrongScaling (Section 4.4, Figure 8) compiles StrongScalingSpec and
+// runs it. Reads Platforms, MachineSweep and Threads.
 func (s *Session) StrongScaling(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
 	finish := s.experimentSpan("fig8")
 	defer finish()
+	idx, sinkErr := s.runSpec(ctx, StrongScalingSpec(cfg))
+	if idx == nil {
+		return nil, sinkErr
+	}
 	rep := &Report{
 		ID:      "fig8",
 		Title:   "Strong horizontal scalability: Tproc vs. machines, BFS and PR on D1000(XL)",
 		Columns: append([]string{"algorithm", "machines"}, cfg.Platforms...),
 	}
-	var m jobMatrix
 	for _, a := range []algorithms.Algorithm{algorithms.BFS, algorithms.PR} {
 		for _, mach := range cfg.MachineSweep {
-			rep.Rows = append(rep.Rows, []string{string(a), fmt.Sprint(mach)})
-			ri := len(rep.Rows) - 1
+			row := []string{string(a), fmt.Sprint(mach)}
 			for _, p := range cfg.Platforms {
-				m.add(JobSpec{Platform: p, Dataset: "D1000", Algorithm: a, Threads: cfg.Threads, Machines: mach},
-					cellAppender(rep, ri))
+				res, err := idx.get(JobSpec{Platform: p, Dataset: "D1000", Algorithm: a, Threads: cfg.Threads, Machines: mach})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, cell(res))
 			}
+			rep.Rows = append(rep.Rows, row)
 		}
 	}
-	if err := m.run(ctx, s); err != nil {
-		return nil, err
-	}
-	return rep, nil
+	return rep, sinkErr
 }
 
 // WeakPair couples a machine count with the Graph500 dataset that keeps
@@ -306,41 +447,82 @@ func DefaultWeakPairs() []WeakPair {
 	}
 }
 
-// WeakScaling (Section 4.5, Figure 9): BFS and PageRank on the Graph500
-// series, doubling dataset size and machine count together. Reads
-// Platforms, WeakPairs and Threads.
+// WeakScalingSpec declares the Figure 9 matrix: BFS and PageRank on the
+// Graph500 series, machine count and dataset doubling together — one
+// sweep per (machines, dataset) pair, since the two axes are coupled.
+func WeakScalingSpec(cfg ExperimentConfig) BenchSpec {
+	spec := BenchSpec{Name: "fig9"}
+	if len(cfg.Platforms) == 0 || len(cfg.WeakPairs) == 0 {
+		return spec
+	}
+	for _, pr := range cfg.WeakPairs {
+		spec.Sweeps = append(spec.Sweeps, Sweep{
+			Platforms:  cfg.Platforms,
+			Datasets:   DatasetSelector{IDs: []string{pr.Dataset}},
+			Algorithms: []algorithms.Algorithm{algorithms.BFS, algorithms.PR},
+			Configs:    []ResourceSpec{{Threads: cfg.Threads, Machines: pr.Machines}},
+		})
+	}
+	return spec
+}
+
+// WeakScaling (Section 4.5, Figure 9) compiles WeakScalingSpec and runs
+// it. Reads Platforms, WeakPairs and Threads.
 func (s *Session) WeakScaling(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
 	finish := s.experimentSpan("fig9")
 	defer finish()
+	idx, sinkErr := s.runSpec(ctx, WeakScalingSpec(cfg))
+	if idx == nil {
+		return nil, sinkErr
+	}
 	rep := &Report{
 		ID:      "fig9",
 		Title:   "Weak horizontal scalability: Tproc vs. machines, BFS and PR on G22..G26",
 		Columns: append([]string{"algorithm", "machines", "dataset"}, cfg.Platforms...),
 	}
-	var m jobMatrix
 	for _, a := range []algorithms.Algorithm{algorithms.BFS, algorithms.PR} {
 		for _, pr := range cfg.WeakPairs {
-			rep.Rows = append(rep.Rows, []string{string(a), fmt.Sprint(pr.Machines), pr.Dataset})
-			ri := len(rep.Rows) - 1
+			row := []string{string(a), fmt.Sprint(pr.Machines), pr.Dataset}
 			for _, p := range cfg.Platforms {
-				m.add(JobSpec{Platform: p, Dataset: pr.Dataset, Algorithm: a, Threads: cfg.Threads, Machines: pr.Machines},
-					cellAppender(rep, ri))
+				res, err := idx.get(JobSpec{Platform: p, Dataset: pr.Dataset, Algorithm: a, Threads: cfg.Threads, Machines: pr.Machines})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, cell(res))
 			}
+			rep.Rows = append(rep.Rows, row)
 		}
 	}
-	if err := m.run(ctx, s); err != nil {
-		return nil, err
-	}
 	rep.Notes = append(rep.Notes, "per-machine work is constant; ideal weak scaling keeps Tproc flat")
-	return rep, nil
+	return rep, sinkErr
+}
+
+// StressTestSpec declares the full Table 10 probe matrix: BFS on every
+// catalog dataset in ascending scale order under the memory budget, for
+// every platform. The StressTest method itself probes adaptively — it
+// stops each platform at its first failure — so this spec exists for
+// inspection and dry runs; executing it verbatim runs the whole matrix.
+func StressTestSpec(cfg ExperimentConfig) BenchSpec {
+	if len(cfg.Platforms) == 0 {
+		return BenchSpec{Name: "table10"}
+	}
+	return BenchSpec{
+		Name:       "table10",
+		Platforms:  cfg.Platforms,
+		Datasets:   DatasetSelector{MaxClass: string(metrics.Class2XL)},
+		Algorithms: []algorithms.Algorithm{algorithms.BFS},
+		Configs:    []ResourceSpec{{Threads: cfg.Threads, Machines: 1, MemoryPerMachine: cfg.MemoryBudget}},
+	}
 }
 
 // StressTest (Section 4.6, Table 10): BFS on every dataset under a
 // per-machine memory budget; reports the smallest dataset each platform
 // fails to process on a single machine. Probing is sequential per
-// platform — it stops at the first failure, so there is no independent
-// matrix to schedule. Reads Platforms, Threads and MemoryBudget.
+// platform — it stops at the first failure, so unlike the other
+// experiments there is no static plan to schedule (StressTestSpec
+// declares the unpruned matrix). Reads Platforms, Threads and
+// MemoryBudget.
 func (s *Session) StressTest(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
 	type scored struct {
@@ -364,6 +546,7 @@ func (s *Session) StressTest(ctx context.Context, cfg ExperimentConfig) (*Report
 		Title:   fmt.Sprintf("Stress test: smallest dataset failing BFS on one machine (budget %d MiB)", cfg.MemoryBudget>>20),
 		Columns: []string{"platform", "smallest failing dataset", "scale", "class"},
 	}
+	var sinkErrs []error
 	for _, p := range cfg.Platforms {
 		failing := "-"
 		scale := "-"
@@ -374,7 +557,12 @@ func (s *Session) StressTest(ctx context.Context, cfg ExperimentConfig) (*Report
 				Threads: cfg.Threads, Machines: 1, MemoryPerMachine: cfg.MemoryBudget,
 			})
 			if err != nil {
-				return nil, err
+				// A failing sink must not abort the probe sweep (the job
+				// itself completed); real harness errors are fatal.
+				if !errors.Is(err, ErrSink) {
+					return nil, err
+				}
+				sinkErrs = append(sinkErrs, err)
 			}
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
@@ -390,14 +578,43 @@ func (s *Session) StressTest(ctx context.Context, cfg ExperimentConfig) (*Report
 		rep.Rows = append(rep.Rows, []string{p, failing, scale, class})
 	}
 	rep.Notes = append(rep.Notes, "datasets probed in ascending scale order; '-' means every dataset completed")
-	return rep, nil
+	return rep, errors.Join(sinkErrs...)
 }
 
-// Variability (Section 4.7, Table 11): BFS repeated n times on D300 with
-// one machine for every platform, and on D1000 with 16 machines for the
-// distributed platforms; reports mean Tproc and its coefficient of
-// variation. Repetitions run sequentially to keep the measured timing
-// distribution undisturbed. Reads SingleMachine, Distributed, Repetitions
+// VariabilitySpec declares the Table 11 matrix: BFS repeated n times on
+// D300 with one machine for the single-machine platforms, and on D1000
+// with 16 machines for the distributed ones. Each platform set is its own
+// sweep; repetitions of one platform share its deployment (one upload, n
+// measured executions).
+func VariabilitySpec(cfg ExperimentConfig) BenchSpec {
+	n := cfg.Repetitions
+	if n < 1 {
+		n = 1
+	}
+	spec := BenchSpec{Name: "table11", Repetitions: n}
+	if len(cfg.SingleMachine) > 0 {
+		spec.Sweeps = append(spec.Sweeps, Sweep{
+			Platforms:  cfg.SingleMachine,
+			Datasets:   DatasetSelector{IDs: []string{"D300"}},
+			Algorithms: []algorithms.Algorithm{algorithms.BFS},
+			Configs:    []ResourceSpec{{Threads: cfg.Threads, Machines: 1}},
+		})
+	}
+	if len(cfg.Distributed) > 0 {
+		spec.Sweeps = append(spec.Sweeps, Sweep{
+			Platforms:  cfg.Distributed,
+			Datasets:   DatasetSelector{IDs: []string{"D1000"}},
+			Algorithms: []algorithms.Algorithm{algorithms.BFS},
+			Configs:    []ResourceSpec{{Threads: cfg.Threads, Machines: 16}},
+		})
+	}
+	return spec
+}
+
+// Variability (Section 4.7, Table 11) compiles VariabilitySpec and runs
+// it sequentially (overlapping repetitions would perturb the very timing
+// distribution the experiment measures); reports mean Tproc and its
+// coefficient of variation. Reads SingleMachine, Distributed, Repetitions
 // and Threads.
 func (s *Session) Variability(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
@@ -407,19 +624,20 @@ func (s *Session) Variability(ctx context.Context, cfg ExperimentConfig) (*Repor
 	}
 	finish := s.experimentSpan("table11")
 	defer finish()
+	idx, sinkErr := s.runSpec(ctx, VariabilitySpec(cfg), WithParallelism(1))
+	if idx == nil {
+		return nil, sinkErr
+	}
 	rep := &Report{
 		ID:      "table11",
 		Title:   fmt.Sprintf("Variability: mean Tproc and CV over %d runs of BFS", n),
 		Columns: []string{"platform", "config", "mean", "CV"},
 	}
-	add := func(p string, machines int, dataset, label string) error {
-		results, err := s.RunRepeated(ctx, JobSpec{
+	add := func(p string, machines int, dataset, label string) {
+		results := idx.all(JobSpec{
 			Platform: p, Dataset: dataset, Algorithm: algorithms.BFS,
 			Threads: cfg.Threads, Machines: machines,
-		}, n)
-		if err != nil {
-			return err
-		}
+		})
 		var samples []time.Duration
 		for _, res := range results {
 			if res.Completed() {
@@ -428,71 +646,81 @@ func (s *Session) Variability(ctx context.Context, cfg ExperimentConfig) (*Repor
 		}
 		if len(samples) == 0 {
 			rep.Rows = append(rep.Rows, []string{p, label, "F", "-"})
-			return nil
+			return
 		}
 		rep.Rows = append(rep.Rows, []string{
 			p, label,
 			fmtDuration(metrics.Mean(samples)),
 			fmt.Sprintf("%.1f%%", 100*metrics.CV(samples)),
 		})
-		return nil
 	}
 	for _, p := range cfg.SingleMachine {
-		if err := add(p, 1, "D300", "S (1 machine, D300)"); err != nil {
-			return nil, err
-		}
+		add(p, 1, "D300", "S (1 machine, D300)")
 	}
 	for _, p := range cfg.Distributed {
-		if err := add(p, 16, "D1000", "D (16 machines, D1000)"); err != nil {
-			return nil, err
-		}
+		add(p, 16, "D1000", "D (16 machines, D1000)")
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return rep, nil
+	return rep, sinkErr
 }
 
-// MakespanBreakdown (Section 4.1, Table 8): makespan versus processing
-// time for BFS on D300(L), exposing per-platform overhead. Reads
-// Platforms and Threads.
+// MakespanBreakdownSpec declares the Table 8 matrix: one BFS job on
+// D300(L) per platform. An empty platform list declares an empty matrix.
+func MakespanBreakdownSpec(cfg ExperimentConfig) BenchSpec {
+	if len(cfg.Platforms) == 0 {
+		return BenchSpec{Name: "table8"}
+	}
+	return BenchSpec{
+		Name:       "table8",
+		Platforms:  cfg.Platforms,
+		Datasets:   DatasetSelector{IDs: []string{"D300"}},
+		Algorithms: []algorithms.Algorithm{algorithms.BFS},
+		Configs:    []ResourceSpec{{Threads: cfg.Threads, Machines: 1}},
+	}
+}
+
+// MakespanBreakdown (Section 4.1, Table 8) compiles MakespanBreakdownSpec
+// and runs it: makespan versus processing time for BFS on D300(L),
+// exposing per-platform overhead. Every deployment has a single job, so
+// each platform's upload is real, never amortized. Reads Platforms and
+// Threads.
 func (s *Session) MakespanBreakdown(ctx context.Context, cfg ExperimentConfig) (*Report, error) {
 	ctx = orBackground(ctx)
 	finish := s.experimentSpan("table8")
 	defer finish()
+	idx, sinkErr := s.runSpec(ctx, MakespanBreakdownSpec(cfg))
+	if idx == nil {
+		return nil, sinkErr
+	}
 	rep := &Report{
 		ID:      "table8",
 		Title:   "Tproc and makespan for BFS on D300(L)",
 		Columns: []string{"platform", "upload", "execute", "job makespan", "Tproc", "Tproc/makespan"},
 	}
-	var m jobMatrix
 	for _, p := range cfg.Platforms {
-		m.add(JobSpec{Platform: p, Dataset: "D300", Algorithm: algorithms.BFS, Threads: cfg.Threads, Machines: 1},
-			func(res JobResult) {
-				if !res.Completed() {
-					rep.Rows = append(rep.Rows, []string{p, cell(res), "-", "-", "-", "-"})
-					return
-				}
-				// The paper's makespan covers the whole job, including the
-				// platform-specific conversion this harness performs at upload.
-				job := res.UploadTime + res.Makespan
-				ratio := float64(res.ProcessingTime) / float64(job) * 100
-				rep.Rows = append(rep.Rows, []string{
-					p,
-					fmtDuration(res.UploadTime),
-					fmtDuration(res.Makespan),
-					fmtDuration(job),
-					fmtDuration(res.ProcessingTime),
-					fmt.Sprintf("%.1f%%", ratio),
-				})
-			})
-	}
-	if err := m.run(ctx, s); err != nil {
-		return nil, err
+		res, err := idx.get(JobSpec{Platform: p, Dataset: "D300", Algorithm: algorithms.BFS, Threads: cfg.Threads, Machines: 1})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Completed() {
+			rep.Rows = append(rep.Rows, []string{p, cell(res), "-", "-", "-", "-"})
+			continue
+		}
+		// The paper's makespan covers the whole job, including the
+		// platform-specific conversion this harness performs at upload.
+		job := res.UploadTime + res.Makespan
+		ratio := float64(res.ProcessingTime) / float64(job) * 100
+		rep.Rows = append(rep.Rows, []string{
+			p,
+			fmtDuration(res.UploadTime),
+			fmtDuration(res.Makespan),
+			fmtDuration(job),
+			fmtDuration(res.ProcessingTime),
+			fmt.Sprintf("%.1f%%", ratio),
+		})
 	}
 	rep.Notes = append(rep.Notes,
 		"overhead (makespan - Tproc) covers engine setup, graph loading and output offload; the paper reports 66-99.8% overhead for JVM/cluster platforms")
-	return rep, nil
+	return rep, sinkErr
 }
 
 // ---- Deprecated positional experiment entry points ----

@@ -85,6 +85,12 @@ type JobResult struct {
 	ProcessingTime time.Duration `json:"processing_time"`
 	NetworkTime    time.Duration `json:"network_time"`
 
+	// UploadShared marks a job that reused the deployment group's upload
+	// instead of performing its own (see Session.RunPlan): UploadTime then
+	// records the group's real first upload, amortized across the group,
+	// so makespan sums over a shared-upload plan must not double-count it.
+	UploadShared bool `json:"upload_shared,omitempty"`
+
 	// Throughput metrics.
 	EPS  float64 `json:"eps"`
 	EVPS float64 `json:"evps"`

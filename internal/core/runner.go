@@ -50,17 +50,18 @@ func NewRunner() *Runner {
 func (r *Runner) Session(opts ...Option) *Session {
 	r.refOnce.Do(func() { r.refs = newRefCache() })
 	cfg := config{
-		sla:         r.SLA,
-		validate:    r.Validate,
-		net:         r.Net,
-		db:          r.DB,
-		parallelism: 1,
+		sla:          r.SLA,
+		validate:     r.Validate,
+		net:          r.Net,
+		db:           r.DB,
+		parallelism:  1,
+		shareUploads: true,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	cfg.resolveStore()
-	return &Session{cfg: cfg, refs: r.refs, emitMu: new(sync.Mutex)}
+	return &Session{cfg: cfg, refs: r.refs, emitMu: new(sync.Mutex), recordMu: new(sync.Mutex)}
 }
 
 // RunJob executes one job end to end.

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,11 @@ type config struct {
 	observer    Observer
 	store       *graphstore.Store
 	cacheDir    string
+	// sinks receive every recorded result in commit order (see Sink).
+	sinks []Sink
+	// shareUploads lets RunPlan share one upload per deployment group;
+	// WithUploadSharing(false) restores per-job uploads.
+	shareUploads bool
 	// storeExplicit records that WithGraphStore was applied, so RunAll's
 	// per-batch override logic can tell an explicitly passed store from
 	// one inherited from the session.
@@ -110,6 +116,17 @@ func WithGraphStore(st *graphstore.Store) Option {
 	return func(c *config) { c.store = st; c.storeExplicit = true }
 }
 
+// WithSink adds a result sink: every result the session records — from
+// RunJob, RunAll or RunPlan — is also delivered to k, in commit order.
+// Repeating the option adds more sinks; see Sink for the contract.
+func WithSink(k Sink) Option { return func(c *config) { c.sinks = append(c.sinks, k) } }
+
+// WithUploadSharing toggles RunPlan's per-deployment upload lease; it is
+// on by default. Turning it off makes every plan job perform its own
+// upload, like RunAll — the honest baseline when measuring what sharing
+// saves (BenchmarkPlanSharedUpload does exactly that).
+func WithUploadSharing(on bool) Option { return func(c *config) { c.shareUploads = on } }
+
 // WithCacheDir gives the session a dedicated graph store that persists
 // binary CSR snapshots under dir: the first materialization of a dataset
 // generates and snapshots it, later runs — including later processes —
@@ -124,6 +141,11 @@ type Session struct {
 	cfg    config
 	refs   *refCache
 	emitMu *sync.Mutex
+	// recordMu serializes record across every batch derived from this
+	// session, so the documented sink contract — Consume calls are
+	// serialized, implementations need no locking — holds even when two
+	// RunAll/RunPlan batches run concurrently on one session.
+	recordMu *sync.Mutex
 }
 
 // NewSession returns a session with the default configuration — output
@@ -131,16 +153,39 @@ type Session struct {
 // GOMAXPROCS scheduler parallelism — overridden by the given options.
 func NewSession(opts ...Option) *Session {
 	cfg := config{
-		validate:    true,
-		net:         cluster.DefaultNetwork(),
-		db:          NewResultsDB(),
-		parallelism: runtime.GOMAXPROCS(0),
+		validate:     true,
+		net:          cluster.DefaultNetwork(),
+		db:           NewResultsDB(),
+		parallelism:  runtime.GOMAXPROCS(0),
+		shareUploads: true,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	cfg.resolveStore()
-	return &Session{cfg: cfg, refs: newRefCache(), emitMu: new(sync.Mutex)}
+	return &Session{cfg: cfg, refs: newRefCache(), emitMu: new(sync.Mutex), recordMu: new(sync.Mutex)}
+}
+
+// batchSession derives a per-batch session: the session's configuration
+// with per-call options applied, sharing the reference cache, event
+// serialization and record serialization. The sinks slice is clipped
+// first so a per-batch WithSink appends into fresh backing storage
+// instead of racing other batches on the session's array.
+func (s *Session) batchSession(opts []Option) *Session {
+	cfg := s.cfg
+	cfg.sinks = slices.Clip(cfg.sinks)
+	cfg.storeExplicit = false
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.storeExplicit && cfg.cacheDir != s.cfg.cacheDir {
+		// A per-batch WithCacheDir asks for a different snapshot store —
+		// but only when the batch did not also pass WithGraphStore, which
+		// always wins.
+		cfg.store = nil
+	}
+	cfg.resolveStore()
+	return &Session{cfg: cfg, refs: s.refs, emitMu: s.emitMu, recordMu: s.recordMu}
 }
 
 // GraphStore returns the store the session materializes datasets through.
@@ -242,24 +287,56 @@ type batchPos struct{ index, total int }
 // RunJob executes one job end to end. Failures — including cancellation of
 // ctx — are encoded in the result status rather than returned, so
 // experiment sweeps keep going; the error return is reserved for
-// harness-level problems (unknown platform or dataset).
+// harness-level problems (unknown platform or dataset, a failing sink).
 func (s *Session) RunJob(ctx context.Context, spec JobSpec) (JobResult, error) {
-	res, err := s.execute(ctx, spec, batchPos{})
-	s.record(res)
-	return res, err
+	res, err := s.execute(ctx, spec, batchPos{}, nil)
+	return res, errors.Join(err, s.record(res))
 }
 
-// record appends a finished job to the results database. Jobs that hit a
-// harness-level error before running carry no status and are not recorded.
-func (s *Session) record(res JobResult) {
-	if res.Status != "" && s.cfg.db != nil {
+// record appends a finished job to the results database and delivers it
+// to the session's sinks. Jobs that hit a harness-level error before
+// running carry no status and are not recorded. recordMu — shared by
+// every batch of one session — serializes delivery, which is what gives
+// sinks their lock-free contract; within a batch the commit reorder
+// buffer additionally fixes the order to plan order.
+func (s *Session) record(res JobResult) error {
+	if res.Status == "" {
+		return nil
+	}
+	s.recordMu.Lock()
+	defer s.recordMu.Unlock()
+	if s.cfg.db != nil {
 		s.cfg.db.Add(res)
+	}
+	var errs []error
+	for _, k := range s.cfg.sinks {
+		if err := k.Consume(res); err != nil {
+			errs = append(errs, fmt.Errorf("%w: %w", ErrSink, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// classifyUpload maps a failed upload to a job status, distinguishing the
+// caller's cancellation from the job's own SLA timer.
+func classifyUpload(callerErr, err error, uploadTime, sla time.Duration) (Status, string) {
+	ctxErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	switch {
+	case callerErr != nil && ctxErr:
+		// The caller's context ended, not the job's SLA timer.
+		return StatusCanceled, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusSLABreak, fmt.Sprintf("upload time %v exceeds SLA %v", uploadTime, sla)
+	default:
+		return classify(err)
 	}
 }
 
 // execute runs one job without recording it, emitting the job's start and
-// finish events.
-func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos) (res JobResult, err error) {
+// finish events. A non-nil lease makes the job share its deployment
+// group's upload (see RunPlan); the lease's reference is released by the
+// caller, not here, so the handle outlives this job for the group.
+func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos, lease *uploadLease) (res JobResult, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -304,10 +381,6 @@ func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos) (res 
 	if sla == 0 {
 		sla = DefaultSLA
 	}
-	// The SLA window opens before upload: the benchmark's makespan budget
-	// covers the whole job, so a pathological upload breaks the SLA too.
-	jctx, cancel := context.WithTimeout(ctx, sla)
-	defer cancel()
 
 	cfg := platform.RunConfig{
 		Threads:          spec.Threads,
@@ -315,14 +388,51 @@ func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos) (res 
 		MemoryPerMachine: spec.MemoryPerMachine,
 		Net:              s.cfg.net,
 	}
-	upStart := time.Now()
-	up, err := p.Upload(g, cfg)
-	res.UploadTime = time.Since(upStart)
-	if err != nil {
-		res.Status, res.Error = classify(err)
-		return res, nil
+
+	// The SLA window opens before upload: the benchmark's makespan budget
+	// covers the whole job, so a pathological upload breaks the SLA too —
+	// and, with context-aware drivers, is cancelled as it breaks it. jctx
+	// is the window the execute phase then runs under.
+	var up platform.Uploaded
+	var jctx context.Context
+	if lease == nil {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, sla)
+		defer cancel()
+		upStart := time.Now()
+		up, err = platform.UploadContext(jctx, p, g, cfg)
+		res.UploadTime = time.Since(upStart)
+		if err != nil {
+			res.Status, res.Error = classifyUpload(ctx.Err(), err, res.UploadTime, sla)
+			return res, nil
+		}
+		defer up.Free()
+	} else {
+		// Shared upload: the group's first job performs it under its own
+		// SLA-sized window; every job is then charged the recorded upload
+		// time, so the remaining execute budget — and therefore the
+		// statuses — match a per-job-upload run.
+		var shared bool
+		up, res.UploadTime, shared, err = lease.upload(func() (platform.Uploaded, time.Duration, error) {
+			uctx, ucancel := context.WithTimeout(ctx, sla)
+			defer ucancel()
+			start := time.Now()
+			u, uerr := platform.UploadContext(uctx, p, g, cfg)
+			dur := time.Since(start)
+			if uerr == nil {
+				s.emit(Event{Type: EventDeploymentUploaded, Spec: spec, Elapsed: dur})
+			}
+			return u, dur, uerr
+		})
+		res.UploadShared = shared
+		if err != nil {
+			res.Status, res.Error = classifyUpload(ctx.Err(), err, res.UploadTime, sla)
+			return res, nil
+		}
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, sla-res.UploadTime)
+		defer cancel()
 	}
-	defer up.Free()
 	if cerr := jctx.Err(); cerr != nil {
 		if ctx.Err() != nil {
 			// The caller's context ended, not the job's SLA timer.
@@ -388,23 +498,31 @@ func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos) (res 
 
 // RunRepeated executes the same job n times (the variability experiment).
 // Repetitions run sequentially: overlapping them would perturb the very
-// timing distribution the experiment measures.
+// timing distribution the experiment measures. Sink-delivery failures
+// (ErrSink) do not stop the repetitions; they are joined into the
+// returned error alongside the completed results.
 func (s *Session) RunRepeated(ctx context.Context, spec JobSpec, n int) ([]JobResult, error) {
 	out := make([]JobResult, 0, n)
+	var sinkErrs []error
 	for i := 0; i < n; i++ {
 		res, err := s.RunJob(ctx, spec)
 		if err != nil {
-			return out, err
+			if !errors.Is(err, ErrSink) {
+				return out, err
+			}
+			sinkErrs = append(sinkErrs, err)
 		}
 		out = append(out, res)
 	}
-	return out, nil
+	return out, errors.Join(sinkErrs...)
 }
 
 // RunAll executes independent jobs on a bounded worker pool and returns
-// one result per spec, in spec order. Per-call options (e.g.
-// WithParallelism, WithObserver) override the session's settings for this
-// batch only; the reference cache stays shared.
+// one result per spec, in spec order. Every job performs its own upload
+// (RunAll is the per-job-upload surface; compile a Plan and use RunPlan
+// for shared uploads). Per-call options (e.g. WithParallelism,
+// WithObserver) override the session's settings for this batch only; the
+// reference cache stays shared.
 //
 // Determinism: results[i] always corresponds to specs[i], and results are
 // committed to the results database in spec order regardless of
@@ -415,65 +533,8 @@ func (s *Session) RunRepeated(ctx context.Context, spec JobSpec, n int) ([]JobRe
 // keeps its result. The error return joins harness-level errors (unknown
 // platform or dataset) in spec order.
 func (s *Session) RunAll(ctx context.Context, specs []JobSpec, opts ...Option) ([]JobResult, error) {
-	cfg := s.cfg
-	cfg.storeExplicit = false
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if !cfg.storeExplicit && cfg.cacheDir != s.cfg.cacheDir {
-		// A per-batch WithCacheDir asks for a different snapshot store —
-		// but only when the batch did not also pass WithGraphStore, which
-		// always wins.
-		cfg.store = nil
-	}
-	cfg.resolveStore()
-	batch := &Session{cfg: cfg, refs: s.refs, emitMu: s.emitMu}
-
-	workers := cfg.parallelism
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	results := make([]JobResult, len(specs))
-	errs := make([]error, len(specs))
-
-	// Reorder buffer: jobs finish in any order, but commit to the results
-	// database in spec order as soon as the contiguous prefix is done.
-	var commitMu sync.Mutex
-	done := make([]bool, len(specs))
-	next := 0
-	commit := func(i int) {
-		commitMu.Lock()
-		defer commitMu.Unlock()
-		done[i] = true
-		for next < len(specs) && done[next] {
-			batch.record(results[next])
-			next++
-		}
-	}
-
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				results[i], errs[i] = batch.execute(ctx, specs[i], batchPos{index: i, total: len(specs)})
-				commit(i)
-			}
-		}()
-	}
-	for i := range specs {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
-	return results, errors.Join(errs...)
+	// RunAll is RunPlan on the trivial plan over the spec list, pinned to
+	// per-job uploads (and therefore per-job scheduling).
+	opts = append(slices.Clone(opts), WithUploadSharing(false))
+	return s.RunPlan(ctx, PlanFromSpecs("batch", specs), opts...)
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrSink marks sink-delivery failures in returned errors: the jobs
+// themselves completed and were recorded in the results database; only a
+// sink rejected the result. errors.Is(err, ErrSink) lets callers keep
+// sweeping past delivery problems while still treating real harness
+// errors (unknown platform or dataset) as fatal — the experiment suites
+// do exactly that.
+var ErrSink = errors.New("core: sink error")
+
+// SinkOnly reports whether err consists solely of sink-delivery failures
+// (every leaf of the joined tree is marked ErrSink): the run's jobs all
+// completed and the artifact built from them is intact, only delivery
+// failed. The experiment suites and the CLI use this to return a finished
+// report *and* the sink error, instead of discarding completed work.
+func SinkOnly(err error) bool {
+	if err == nil {
+		return false
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			if !SinkOnly(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return errors.Is(err, ErrSink)
+}
+
+// Sink is the pluggable result-consumption surface of the harness: every
+// finished job a session records — via RunJob, RunAll or RunPlan — is
+// delivered to each configured sink (WithSink) in commit order, which for
+// batches is spec/plan order regardless of completion order. The session
+// serializes Consume calls, so implementations need no internal locking.
+// A sink error does not stop the run; it is joined into the batch's
+// returned error. The results database itself is not a sink — it always
+// receives results first — but DBSink adapts extra databases, and
+// JSONLSink / ReportSink stream and render results as they arrive.
+type Sink interface {
+	Consume(JobResult) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(JobResult) error
+
+// Consume calls f(r).
+func (f SinkFunc) Consume(r JobResult) error { return f(r) }
+
+// DBSink returns a sink appending every result to db — fan-out into a
+// second results database beyond the session's own.
+func DBSink(db *ResultsDB) Sink {
+	return SinkFunc(func(r JobResult) error {
+		db.Add(r)
+		return nil
+	})
+}
+
+// MultiSink fans results out to every sink in order, joining their
+// errors.
+func MultiSink(sinks ...Sink) Sink {
+	return SinkFunc(func(r JobResult) error {
+		var errs []error
+		for _, k := range sinks {
+			if err := k.Consume(r); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	})
+}
+
+// NewJSONLSink returns a sink streaming each result to w as one JSON
+// object per line — the same encoding as ResultsDB.WriteJSONL, produced
+// incrementally while the run progresses instead of at the end. Callers
+// owning a buffered writer flush it after the run.
+func NewJSONLSink(w io.Writer) Sink {
+	enc := json.NewEncoder(w)
+	return SinkFunc(func(r JobResult) error {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("core: jsonl sink: %w", err)
+		}
+		return nil
+	})
+}
+
+// ReportSink accumulates results into a rendered Report — the report
+// renderer as a sink: one row per job in commit order, with the paper's
+// status markers and the run-time breakdown.
+type ReportSink struct {
+	rep *Report
+}
+
+// NewReportSink returns a report sink with the given artifact ID and
+// title.
+func NewReportSink(id, title string) *ReportSink {
+	return &ReportSink{rep: &Report{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"platform", "dataset", "algorithm", "t", "m", "status", "upload", "Tproc"},
+		Notes:   []string{"upload times marked * were amortized: the job reused its deployment group's shared upload"},
+	}}
+}
+
+// Consume implements Sink.
+func (k *ReportSink) Consume(r JobResult) error {
+	upload := fmtDuration(r.UploadTime)
+	if r.UploadShared {
+		upload += "*"
+	}
+	k.rep.Rows = append(k.rep.Rows, []string{
+		r.Spec.Platform, r.Spec.Dataset, string(r.Spec.Algorithm),
+		fmt.Sprint(r.Spec.Threads), fmt.Sprint(r.Spec.Machines),
+		string(r.Status), upload, cell(r),
+	})
+	return nil
+}
+
+// Report returns the accumulated report; call it when the run is done.
+func (k *ReportSink) Report() *Report { return k.rep }

@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphalytics/internal/algorithms"
+	"graphalytics/internal/core"
+)
+
+func sinkTestPlan(t *testing.T) *core.Plan {
+	t.Helper()
+	plan, err := core.CompileSpec(core.BenchSpec{
+		Name:       "sinks",
+		Platforms:  []string{"native", "spmv-s"},
+		Datasets:   core.DatasetSelector{IDs: []string{"R1"}},
+		Algorithms: []algorithms.Algorithm{algorithms.BFS, algorithms.PR},
+		Configs:    []core.ResourceSpec{{Threads: 2, Machines: 1}},
+		SLA:        core.Duration(2 * time.Minute),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestJSONLSinkStreamsDatabase runs a plan with a JSONL sink and checks
+// the stream is byte-identical to the database's own serialization, with
+// results in plan order despite parallel execution.
+func TestJSONLSinkStreamsDatabase(t *testing.T) {
+	plan := sinkTestPlan(t)
+	var stream bytes.Buffer
+	s := core.NewSession(
+		core.WithParallelism(4),
+		core.WithSink(core.NewJSONLSink(&stream)),
+	)
+	results, err := s.RunPlan(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(plan.Jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(plan.Jobs))
+	}
+	var fromDB bytes.Buffer
+	if err := s.DB().WriteJSONL(&fromDB); err != nil {
+		t.Fatal(err)
+	}
+	if stream.String() != fromDB.String() {
+		t.Errorf("JSONL stream differs from database serialization:\n--- sink ---\n%s--- db ---\n%s", stream.String(), fromDB.String())
+	}
+	if got := strings.Count(stream.String(), "\n"); got != len(plan.Jobs) {
+		t.Errorf("stream has %d lines, want %d", got, len(plan.Jobs))
+	}
+}
+
+// TestSinkOrderAndFanout checks sinks receive every result in commit
+// (plan) order, across DBSink and MultiSink fan-out, and that RunJob
+// records reach sinks too.
+func TestSinkOrderAndFanout(t *testing.T) {
+	plan := sinkTestPlan(t)
+	var mu sync.Mutex
+	var seen []core.JobSpec
+	orderSink := core.SinkFunc(func(r core.JobResult) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, r.Spec)
+		return nil
+	})
+	extra := core.NewResultsDB()
+	s := core.NewSession(
+		core.WithParallelism(4),
+		core.WithSink(core.MultiSink(orderSink, core.DBSink(extra))),
+	)
+	if _, err := s.RunPlan(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(plan.Jobs) {
+		t.Fatalf("sink saw %d results, want %d", len(seen), len(plan.Jobs))
+	}
+	for i := range seen {
+		if seen[i] != plan.Jobs[i] {
+			t.Errorf("sink result %d out of plan order: %+v", i, seen[i])
+		}
+	}
+	if extra.Len() != len(plan.Jobs) {
+		t.Errorf("DBSink database has %d records, want %d", extra.Len(), len(plan.Jobs))
+	}
+	// RunJob records flow to sinks too.
+	if _, err := s.RunJob(context.Background(), core.JobSpec{
+		Platform: "native", Dataset: "R1", Algorithm: algorithms.BFS, Threads: 1, Machines: 1, SLA: 2 * time.Minute,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(plan.Jobs)+1 {
+		t.Errorf("RunJob result did not reach the sink")
+	}
+}
+
+// TestSinkErrorSurfaces: a failing sink does not stop the run, but its
+// error is joined into the batch error.
+func TestSinkErrorSurfaces(t *testing.T) {
+	plan := sinkTestPlan(t)
+	boom := errors.New("sink exploded")
+	n := 0
+	s := core.NewSession(core.WithSink(core.SinkFunc(func(core.JobResult) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})))
+	results, err := s.RunPlan(context.Background(), plan)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("sink error not surfaced: %v", err)
+	}
+	if !errors.Is(err, core.ErrSink) {
+		t.Fatalf("sink failures must be marked ErrSink: %v", err)
+	}
+	// The run itself completed: every job has a terminal status and the
+	// database holds all records.
+	for i, res := range results {
+		if !res.Status.Terminal() {
+			t.Errorf("job %d: non-terminal status after sink error", i)
+		}
+	}
+	if s.DB().Len() != len(plan.Jobs) {
+		t.Errorf("db has %d records, want %d despite sink error", s.DB().Len(), len(plan.Jobs))
+	}
+}
+
+// TestReportSink renders one row per job with the shared-upload marker.
+func TestReportSink(t *testing.T) {
+	plan := sinkTestPlan(t)
+	table := core.NewReportSink("sinks", "sink table")
+	s := core.NewSession(core.WithSink(table))
+	if _, err := s.RunPlan(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	rep := table.Report()
+	if len(rep.Rows) != len(plan.Jobs) {
+		t.Fatalf("report has %d rows, want %d", len(rep.Rows), len(plan.Jobs))
+	}
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Errorf("report should mark amortized uploads with *:\n%s", sb.String())
+	}
+}

@@ -113,6 +113,17 @@ const (
 // datasets, builds routing tables, and registers the (substantial) memory
 // the dataflow representation occupies.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	return e.UploadContext(context.Background(), g, cfg)
+}
+
+// UploadContext implements platform.ContextUploader: the context is
+// checked between the materialization phases and periodically inside the
+// per-vertex edge scan, so an SLA timer cancels a pathological upload
+// mid-flight.
+func (e *Engine) UploadContext(ctx context.Context, g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	cl := cluster.New(cfg.ClusterConfig())
 	M := cl.Machines()
 	nep := M * edgePartsPerMachine
@@ -151,6 +162,11 @@ func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Upload
 	// once and expanded to both triplet directions by the send stage.
 	idx := 0
 	for v := int32(0); v < int32(n); v++ {
+		if v&0xffff == 0 {
+			if err := platform.CheckContext(ctx); err != nil {
+				return nil, err
+			}
+		}
 		ws := g.OutWeights(v)
 		for i, d := range g.OutNeighbors(v) {
 			if !g.Directed() && d < v {
@@ -167,6 +183,9 @@ func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Upload
 	}
 	// Routing tables and per-iteration shuffle volume.
 	for p, ep := range u.eparts {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
 		ep.needSrc = distinct(ep.src)
 		ep.needDst = distinct(ep.dst)
 		em := u.emachine[p]

@@ -127,6 +127,16 @@ func (u *uploaded) Free() {
 // Upload implements platform.Platform: it builds the vertex-cut and each
 // machine's sorted arc store.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	return e.UploadContext(context.Background(), g, cfg)
+}
+
+// UploadContext implements platform.ContextUploader: the context is
+// checked before the vertex-cut, between per-machine arc-store builds
+// (the expensive sorts), and before the label layout.
+func (e *Engine) UploadContext(ctx context.Context, g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	cl := cluster.New(cfg.ClusterConfig())
 	part := cluster.PartitionEdges(g, cl.Machines())
 	u := &uploaded{
@@ -151,6 +161,10 @@ func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Upload
 		}
 	}
 	for m := 0; m < cl.Machines(); m++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			u.Free()
+			return nil, err
+		}
 		u.local[m] = buildMachineArcs(g, part.Arcs[m])
 		// Arc array, weights, destination-order index, mirror tables.
 		perArc := int64(12)
@@ -163,6 +177,10 @@ func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Upload
 			return nil, fmt.Errorf("gas: upload %s: %w", g.Name(), err)
 		}
 		u.bytes[m] = bytes
+	}
+	if err := platform.CheckContext(ctx); err != nil {
+		u.Free()
+		return nil, err
 	}
 	u.buildLabelLayout(g)
 	return u, nil

@@ -59,6 +59,15 @@ func (u *uploaded) Free() {
 // directly, so upload only registers the graph's memory against the
 // machine budget.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	return e.UploadContext(context.Background(), g, cfg)
+}
+
+// UploadContext implements platform.ContextUploader. Native upload is a
+// single allocation, so the context is checked once up front.
+func (e *Engine) UploadContext(ctx context.Context, g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	if cfg.Machines > 1 {
 		return nil, fmt.Errorf("%w: native engine supports one machine", platform.ErrNotDistributed)
 	}

@@ -88,6 +88,16 @@ func (u *uploaded) Free() {
 // Upload implements platform.Platform: the graph is exploded into
 // per-vertex adjacency objects hash-partitioned over the machines.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	return e.UploadContext(context.Background(), g, cfg)
+}
+
+// UploadContext implements platform.ContextUploader: the context is
+// checked periodically inside the per-vertex explosion loop, the bulk of
+// the upload work.
+func (e *Engine) UploadContext(ctx context.Context, g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	cl := cluster.New(cfg.ClusterConfig())
 	n := g.NumVertices()
 	part := cluster.PartitionVerticesHash(n, cl.Machines())
@@ -95,6 +105,11 @@ func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Upload
 	perMachine := make([]int64, cl.Machines())
 	const vertexOverhead = 88 // object header + three slice headers + value slot
 	for v := int32(0); v < int32(n); v++ {
+		if v&0xffff == 0 {
+			if err := platform.CheckContext(ctx); err != nil {
+				return nil, err
+			}
+		}
 		vd := vertexData{out: append([]int32(nil), g.OutNeighbors(v)...)}
 		if g.Weighted() {
 			vd.w = append([]float64(nil), g.OutWeights(v)...)

@@ -102,10 +102,26 @@ func (u *uploaded) Free() {
 // copied into engine storage and charged, together with the wide
 // per-vertex slots and ghost caches, against every machine.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	return e.UploadContext(context.Background(), g, cfg)
+}
+
+// UploadContext implements platform.ContextUploader: the context is
+// checked between the two adjacency-direction copies and before the
+// dangling-vertex scan.
+func (e *Engine) UploadContext(ctx context.Context, g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	cl := cluster.New(cfg.ClusterConfig())
 	st := &store{n: g.NumVertices(), directed: g.Directed()}
 	st.outOff, st.outAdj, st.outW = g.CopyCSR(false)
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	st.inOff, st.inAdj, _ = g.CopyCSR(true)
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	part := cluster.PartitionVerticesRange(g, cl.Machines())
 	var dangling []int32
 	for v := int32(0); v < int32(g.NumVertices()); v++ {

@@ -94,12 +94,24 @@ func (u *uploaded) Free() {
 // engine's CSR+CSC matrix layout and registers the per-machine memory
 // shares.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	return e.UploadContext(context.Background(), g, cfg)
+}
+
+// UploadContext implements platform.ContextUploader: the context is
+// checked around the matrix conversion, the expensive part of the upload.
+func (e *Engine) UploadContext(ctx context.Context, g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	if e.backend == BackendS && cfg.Machines > 1 {
 		return nil, fmt.Errorf("%w: spmv backend S runs on one machine", platform.ErrNotDistributed)
 	}
 	cl := cluster.New(cfg.ClusterConfig())
 	part := cluster.PartitionVerticesRange(g, cl.Machines())
 	m := newMatrix(g)
+	if err := platform.CheckContext(ctx); err != nil {
+		return nil, err
+	}
 	u := &uploaded{
 		BaseUpload: platform.BaseUpload{G: g, Cl: cl},
 		m:          m,

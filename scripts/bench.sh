@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# bench.sh — run the engine message-plane benchmarks and record a
-# benchstat-friendly snapshot in BENCH_<date>.json at the repository root.
+# bench.sh — run the engine message-plane and plan-pipeline benchmarks and
+# record a benchstat-friendly snapshot in BENCH_<date>.json at the
+# repository root.
 #
 # The "benchstat" field holds the raw `go test -bench` lines, so
 #   jq -r '.benchstat[]' BENCH_2026-07-26.json > old.txt
@@ -8,14 +9,14 @@
 #   benchstat old.txt new.txt
 # compares two snapshots; the "results" field carries the same data
 # parsed for scripting. Environment overrides:
-#   BENCH      benchmark regexp        (default BenchmarkEngineExecute)
+#   BENCH      benchmark regexp        (default BenchmarkEngineExecute|BenchmarkPlanSharedUpload)
 #   BENCHTIME  go test -benchtime      (default 3x)
 #   COUNT      go test -count          (default 1; raise for benchstat CIs)
 #   OUT        output file             (default BENCH_<date>.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH=${BENCH:-BenchmarkEngineExecute}
+BENCH=${BENCH:-'BenchmarkEngineExecute|BenchmarkPlanSharedUpload'}
 BENCHTIME=${BENCHTIME:-3x}
 COUNT=${COUNT:-1}
 OUT=${OUT:-BENCH_$(date +%F).json}
