@@ -50,7 +50,10 @@ type NetworkModel = cluster.NetworkModel
 func DefaultNetwork() NetworkModel { return cluster.DefaultNetwork() }
 
 // Observer receives a session's streaming progress events; Event and
-// EventType describe the stream. The session serializes Observe calls.
+// EventType describe the stream. The session serializes Observe calls,
+// stamps every event with a gap-free per-session sequence number and
+// timestamp, and recovers observer panics (see core.Observer for the
+// full delivery contract).
 type (
 	Observer     = core.Observer
 	ObserverFunc = core.ObserverFunc
@@ -58,14 +61,28 @@ type (
 	EventType    = core.EventType
 )
 
-// The event stream: per-job start/finish, per-experiment phase and
-// per-dataset materialization events.
+// BufferedObserver decouples a slow event consumer from the session's
+// synchronous delivery: events are forwarded in order through a bounded
+// buffer and dropped (counted, never blocking the run) on overflow.
+type BufferedObserver = core.BufferedObserver
+
+// NewBufferedObserver wraps target with a drop-on-overflow buffer.
+func NewBufferedObserver(target Observer, size int) *BufferedObserver {
+	return core.NewBufferedObserver(target, size)
+}
+
+// MultiObserver fans one event stream out to several observers.
+func MultiObserver(obs ...Observer) Observer { return core.MultiObserver(obs...) }
+
+// The event stream: per-job start/finish, per-experiment phase,
+// per-dataset materialization and per-deployment upload events.
 const (
 	EventJobStarted          = core.EventJobStarted
 	EventJobFinished         = core.EventJobFinished
 	EventExperimentStarted   = core.EventExperimentStarted
 	EventExperimentFinished  = core.EventExperimentFinished
 	EventDatasetMaterialized = core.EventDatasetMaterialized
+	EventDeploymentUploaded  = core.EventDeploymentUploaded
 )
 
 // Runner executes benchmark jobs with SLA enforcement, validation and a

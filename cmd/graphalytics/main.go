@@ -61,6 +61,10 @@ func main() {
 		err = cmdValidate(os.Args[2:])
 	case "bench":
 		err = cmdBench(ctx, os.Args[2:])
+	case "submit":
+		err = cmdSubmit(ctx, os.Args[2:])
+	case "watch":
+		err = cmdWatch(ctx, os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -72,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|plan|suite|warm|renewal|validate|bench> [flags]
+	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|plan|suite|warm|renewal|validate|bench|submit|watch> [flags]
   list                      print platforms, datasets and the workload survey
   run     -platform -dataset -algorithm [-threads -machines -archive] [-cache-dir DIR]
   run     -spec spec.json [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
@@ -82,6 +86,13 @@ func usage() {
   renewal -budget <duration> [-platform native]
   validate -algorithm <name> -got <file> -want <file>
   bench   -description <file.json> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
+  submit  -spec spec.json [-server URL] [-key K] [-watch] [-out results.jsonl]
+  watch   -run <id> [-server URL] [-key K] [-out results.jsonl]
+
+'submit' and 'watch' talk to a running graphalyticsd daemon over its
+HTTP API: submit posts the spec as a new run; watch follows a run's
+live SSE event stream (reconnecting with Last-Event-ID) and can save
+its JSONL results.
 
 A spec file is a declarative benchmark definition (platforms, datasets by
 ID or scale class, algorithms, resource sweeps, repetitions, SLA,
@@ -95,20 +106,24 @@ snapshots instead of re-generating.`)
 }
 
 // progressObserver renders the session's event stream as live progress
-// lines. The session serializes Observe calls, so no locking is needed.
+// lines, each prefixed with the event's session sequence number and
+// wall-clock timestamp (the same stamps the service daemon's SSE stream
+// carries, so a console trace and an SSE trace line up event for
+// event). The session serializes Observe calls, so no locking is needed.
 func progressObserver(w io.Writer) graphalytics.Observer {
 	return graphalytics.ObserverFunc(func(e graphalytics.Event) {
+		stamp := fmt.Sprintf("#%-4d %s", e.Seq, e.Time.Format("15:04:05.000"))
 		switch e.Type {
 		case graphalytics.EventExperimentStarted:
-			fmt.Fprintf(w, ">> %s: running\n", e.Experiment)
+			fmt.Fprintf(w, "%s >> %s: running\n", stamp, e.Experiment)
 		case graphalytics.EventExperimentFinished:
-			fmt.Fprintf(w, ">> %s: done\n", e.Experiment)
+			fmt.Fprintf(w, "%s >> %s: done\n", stamp, e.Experiment)
 		case graphalytics.EventDatasetMaterialized:
 			// Memory hits are the steady state and would swamp the log;
 			// show only the loads that did real work, so a warmed cache is
 			// visibly all "snapshot" and a cold one all "built".
 			if src := graphalytics.DatasetSource(e.Source); src == graphalytics.SourceSnapshot || src == graphalytics.SourceBuilt {
-				fmt.Fprintf(w, "   dataset %-6s %-9s %v\n", e.Dataset, e.Source, e.Elapsed.Round(time.Microsecond))
+				fmt.Fprintf(w, "%s    dataset %-6s %-9s %v\n", stamp, e.Dataset, e.Source, e.Elapsed.Round(time.Microsecond))
 			}
 		case graphalytics.EventJobFinished:
 			pos := ""
@@ -116,13 +131,13 @@ func progressObserver(w io.Writer) graphalytics.Observer {
 				pos = fmt.Sprintf("[%d/%d] ", e.Index+1, e.Total)
 			}
 			if e.Err != nil {
-				fmt.Fprintf(w, "   %s%s/%s/%s: harness error: %v\n",
-					pos, e.Spec.Platform, e.Spec.Dataset, e.Spec.Algorithm, e.Err)
+				fmt.Fprintf(w, "%s    %s%s/%s/%s: harness error: %v\n",
+					stamp, pos, e.Spec.Platform, e.Spec.Dataset, e.Spec.Algorithm, e.Err)
 				return
 			}
 			r := e.Result
-			fmt.Fprintf(w, "   %s%-9s %-6s %-5s t=%-2d m=%-2d %-14s Tproc=%v\n",
-				pos, e.Spec.Platform, e.Spec.Dataset, e.Spec.Algorithm,
+			fmt.Fprintf(w, "%s    %s%-9s %-6s %-5s t=%-2d m=%-2d %-14s Tproc=%v\n",
+				stamp, pos, e.Spec.Platform, e.Spec.Dataset, e.Spec.Algorithm,
 				e.Spec.Threads, e.Spec.Machines, r.Status, r.ProcessingTime)
 		}
 	})

@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"graphalytics/internal/core"
+)
+
+// TestEventSequenceStamping checks the emit contract: every event a
+// session delivers carries a wall-clock timestamp and a gap-free,
+// monotonically increasing sequence number starting at 1, in delivery
+// order — including across a parallel RunAll batch, whose batch session
+// shares the parent's counter.
+func TestEventSequenceStamping(t *testing.T) {
+	var mu sync.Mutex
+	var seqs []uint64
+	var times []time.Time
+	obs := core.ObserverFunc(func(e core.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		seqs = append(seqs, e.Seq)
+		times = append(times, e.Time)
+	})
+	s := core.NewSession(core.WithObserver(obs), core.WithValidation(false), core.WithParallelism(4))
+	specs := []core.JobSpec{
+		{Platform: "native", Dataset: "R1", Algorithm: "BFS", Threads: 2, Machines: 1},
+		{Platform: "native", Dataset: "R1", Algorithm: "WCC", Threads: 2, Machines: 1},
+		{Platform: "native", Dataset: "R1", Algorithm: "PR", Threads: 2, Machines: 1},
+	}
+	if _, err := s.RunAll(context.Background(), specs); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) == 0 {
+		t.Fatal("no events delivered")
+	}
+	for i, seq := range seqs {
+		if want := uint64(i + 1); seq != want {
+			t.Fatalf("event %d: Seq = %d, want %d (gap-free delivery order)", i, seq, want)
+		}
+		if times[i].IsZero() {
+			t.Fatalf("event %d: zero timestamp", i)
+		}
+		if i > 0 && times[i].Before(times[i-1]) {
+			t.Fatalf("event %d: timestamp %v before predecessor %v", i, times[i], times[i-1])
+		}
+	}
+}
+
+// TestObserverPanicRecovered checks that a panicking observer loses
+// events but not the run: the batch completes and later events still
+// reach a healthy co-observer via MultiObserver.
+func TestObserverPanicRecovered(t *testing.T) {
+	var mu sync.Mutex
+	var healthy int
+	bad := core.ObserverFunc(func(core.Event) { panic("observer bug") })
+	good := core.ObserverFunc(func(core.Event) {
+		mu.Lock()
+		healthy++
+		mu.Unlock()
+	})
+	s := core.NewSession(
+		core.WithObserver(core.MultiObserver(bad, good)),
+		core.WithValidation(false),
+	)
+	res, err := s.RunJob(context.Background(), core.JobSpec{
+		Platform: "native", Dataset: "R1", Algorithm: "BFS", Threads: 2, Machines: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if res.Status != core.StatusOK {
+		t.Fatalf("status = %s, want ok", res.Status)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if healthy == 0 {
+		t.Fatal("healthy co-observer received no events despite panicking sibling")
+	}
+}
+
+// TestBufferedObserverOrderAndFlush checks that the buffered wrapper
+// forwards events in order and that Close flushes everything already
+// buffered before returning.
+func TestBufferedObserverOrderAndFlush(t *testing.T) {
+	var mu sync.Mutex
+	var got []uint64
+	slowish := core.ObserverFunc(func(e core.Event) {
+		mu.Lock()
+		got = append(got, e.Seq)
+		mu.Unlock()
+	})
+	b := core.NewBufferedObserver(slowish, 64)
+	const n = 50
+	for i := 1; i <= n; i++ {
+		b.Observe(core.Event{Seq: uint64(i)})
+	}
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got)+int(b.Dropped()) != n {
+		t.Fatalf("delivered %d + dropped %d != sent %d", len(got), b.Dropped(), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out-of-order delivery: %d after %d", got[i], got[i-1])
+		}
+	}
+	// Close is idempotent and post-Close events are counted drops.
+	b.Close()
+	before := b.Dropped()
+	b.Observe(core.Event{Seq: n + 1})
+	if b.Dropped() != before+1 {
+		t.Fatalf("post-Close Observe not counted as drop")
+	}
+}
+
+// TestBufferedObserverDropsInsteadOfStalling checks the overflow
+// contract: with the consumer blocked, Observe never blocks and the
+// overflow is counted.
+func TestBufferedObserverDropsInsteadOfStalling(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	blocked := core.ObserverFunc(func(core.Event) {
+		once.Do(func() { close(started) })
+		<-release
+	})
+	b := core.NewBufferedObserver(blocked, 2)
+	b.Observe(core.Event{Seq: 1}) // taken by the drain goroutine, blocks
+	<-started
+	// Fill the buffer, then overflow it; none of these may block.
+	done := make(chan struct{})
+	go func() {
+		for i := 2; i <= 10; i++ {
+			b.Observe(core.Event{Seq: uint64(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Observe blocked on a full buffer")
+	}
+	if b.Dropped() == 0 {
+		t.Fatal("overflow not counted as drops")
+	}
+	close(release)
+	b.Close()
+}
+
+// TestBufferedObserverShieldsPanic checks that a panicking wrapped
+// target does not kill the drain goroutine.
+func TestBufferedObserverShieldsPanic(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	b := core.NewBufferedObserver(core.ObserverFunc(func(core.Event) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		panic("target bug")
+	}), 8)
+	b.Observe(core.Event{Seq: 1})
+	b.Observe(core.Event{Seq: 2})
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("target called %d times, want 2 (drain must survive panics)", calls)
+	}
+}

@@ -141,6 +141,11 @@ type Session struct {
 	cfg    config
 	refs   *refCache
 	emitMu *sync.Mutex
+	// eventSeq is the session's monotonic event sequence, shared (like
+	// emitMu) by every batch derived from the session so the whole
+	// session's stream carries one gap-free total order. It is advanced
+	// under emitMu, which is what makes delivery order equal Seq order.
+	eventSeq *atomic.Uint64
 	// recordMu serializes record across every batch derived from this
 	// session, so the documented sink contract — Consume calls are
 	// serialized, implementations need no locking — holds even when two
@@ -163,7 +168,11 @@ func NewSession(opts ...Option) *Session {
 		o(&cfg)
 	}
 	cfg.resolveStore()
-	return &Session{cfg: cfg, refs: newRefCache(), emitMu: new(sync.Mutex), recordMu: new(sync.Mutex)}
+	return &Session{
+		cfg: cfg, refs: newRefCache(),
+		emitMu: new(sync.Mutex), recordMu: new(sync.Mutex),
+		eventSeq: new(atomic.Uint64),
+	}
 }
 
 // batchSession derives a per-batch session: the session's configuration
@@ -185,7 +194,7 @@ func (s *Session) batchSession(opts []Option) *Session {
 		cfg.store = nil
 	}
 	cfg.resolveStore()
-	return &Session{cfg: cfg, refs: s.refs, emitMu: s.emitMu, recordMu: s.recordMu}
+	return &Session{cfg: cfg, refs: s.refs, emitMu: s.emitMu, recordMu: s.recordMu, eventSeq: s.eventSeq}
 }
 
 // GraphStore returns the store the session materializes datasets through.
@@ -209,15 +218,21 @@ func (s *Session) loadGraph(d workload.Dataset) (*graph.Graph, error) {
 // DB returns the session's results database.
 func (s *Session) DB() *ResultsDB { return s.cfg.db }
 
-// emit delivers an event to the observer, serialized and timestamped.
+// emit delivers an event to the observer, serialized, stamped with the
+// session's next sequence number and the wall-clock time. Delivery is
+// panic-recovered: a faulty observer loses the event, not the run (see
+// the Observer contract). The sequence advances under emitMu so Seq
+// order equals delivery order, gap-free — events are only numbered when
+// an observer is attached, so the first delivered event is always Seq 1.
 func (s *Session) emit(e Event) {
 	if s.cfg.observer == nil {
 		return
 	}
-	e.Time = time.Now()
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
-	s.cfg.observer.Observe(e)
+	e.Seq = s.eventSeq.Add(1)
+	e.Time = time.Now()
+	safeObserve(s.cfg.observer, e)
 }
 
 // experimentSpan emits the started event for one paper artifact and

@@ -249,21 +249,33 @@ func WriteSpec(w io.Writer, sp *BenchSpec) error {
 	return nil
 }
 
-// LoadSpec reads a JSON benchmark spec from a file. Unknown fields are
-// rejected: empty axes default to "everything", so a misspelled key
-// ("platform" for "platforms") would otherwise silently expand the
-// benchmark instead of erroring.
+// DecodeSpec reads a JSON benchmark spec from r under the same strict
+// rules as LoadSpec: unknown fields are rejected, because empty axes
+// default to "everything" and a misspelled key ("platform" for
+// "platforms") would otherwise silently expand the benchmark instead of
+// erroring. This is the decoding surface the service daemon applies to
+// request bodies, so a POSTed spec gets exactly the file-spec treatment.
+func DecodeSpec(r io.Reader) (*BenchSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sp BenchSpec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("core: decode spec: %w", err)
+	}
+	return &sp, nil
+}
+
+// LoadSpec reads a JSON benchmark spec from a file; see DecodeSpec for
+// the strict decoding rules.
 func LoadSpec(path string) (*BenchSpec, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: open spec: %w", err)
 	}
 	defer f.Close()
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	var sp BenchSpec
-	if err := dec.Decode(&sp); err != nil {
-		return nil, fmt.Errorf("core: decode spec %s: %w", path, err)
+	sp, err := DecodeSpec(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
 	}
-	return &sp, nil
+	return sp, nil
 }

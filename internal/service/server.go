@@ -1,0 +1,235 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"graphalytics/internal/core"
+)
+
+// The HTTP API (all JSON unless noted):
+//
+//	POST   /v1/runs               submit a BenchSpec → 202 RunRecord
+//	GET    /v1/runs               list the tenant's runs
+//	GET    /v1/runs/{id}          run status and summary
+//	DELETE /v1/runs/{id}          cancel (queued or in flight) → RunRecord
+//	GET    /v1/runs/{id}/events   SSE event stream (resume: Last-Event-ID)
+//	GET    /v1/runs/{id}/results  JSONL result stream (follows until terminal)
+//	POST   /v1/plan               compile a spec, return the plan listing
+//	                              (?format=json for the JSON plan) — dry run
+//	GET    /v1/healthz            liveness and scheduler counters (no auth)
+//
+// Authentication: `Authorization: Bearer <key>` or `X-API-Key: <key>`
+// maps the request to a tenant; a tenant registered with an empty key
+// serves unauthenticated requests. Runs are tenant-scoped: another
+// tenant's run ids are indistinguishable from unknown ones (404).
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+// routes wires the mux; called once by New.
+func (s *Service) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.withTenant(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/runs", s.withTenant(s.handleList))
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.withTenant(s.handleGet))
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.withTenant(s.handleCancel))
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.withTenant(s.handleEvents))
+	s.mux.HandleFunc("GET /v1/runs/{id}/results", s.withTenant(s.handleResults))
+	s.mux.HandleFunc("POST /v1/plan", s.withTenant(s.handlePlan))
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// apiKey extracts the request's API key.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// withTenant authenticates the request and passes the tenant through.
+func (s *Service) withTenant(h func(http.ResponseWriter, *http.Request, *tenantState)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		t, ok := s.byKey[apiKey(r)]
+		s.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "unknown or missing API key")
+			return
+		}
+		h(w, r, t)
+	}
+}
+
+// decodeSpecBody decodes a request body as a strict BenchSpec.
+func decodeSpecBody(w http.ResponseWriter, r *http.Request) (*core.BenchSpec, bool) {
+	sp, err := core.DecodeSpec(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	return sp, true
+}
+
+// handleSubmit admits a new run: strict spec decoding (the same
+// LoadSpec rules as the CLI), compilation through the shared session —
+// which validates platforms, datasets and classes and warms the shared
+// store — then admission control and scheduling.
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, t *tenantState) {
+	sp, ok := decodeSpecBody(w, r)
+	if !ok {
+		return
+	}
+	plan, err := s.Compile(*sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	run, err := s.submit(t, sp, plan)
+	switch {
+	case errors.Is(err, errQueueFull):
+		// The queue drains at run granularity; a second is a reasonable
+		// earliest-retry hint without promising anything.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.mu.Lock()
+	rec := run.recordLocked()
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/runs/"+run.id)
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// handleList returns the tenant's runs in submission order.
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request, t *tenantState) {
+	writeJSON(w, http.StatusOK, struct {
+		Runs []RunRecord `json:"runs"`
+	}{Runs: s.tenantRuns(t)})
+}
+
+// handleGet returns one run's status and summary.
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request, t *tenantState) {
+	run, ok := s.lookupRun(t, r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run")
+		return
+	}
+	s.mu.Lock()
+	rec := run.recordLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleCancel cancels a run (idempotent on terminal runs) and returns
+// its record. A running run's context is canceled; its jobs surface as
+// StatusCanceled and the run finalizes asynchronously.
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request, t *tenantState) {
+	run, ok := s.cancelRun(t, r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run")
+		return
+	}
+	s.mu.Lock()
+	rec := run.recordLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleEvents streams the run's event log as SSE.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request, t *tenantState) {
+	run, ok := s.lookupRun(t, r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run")
+		return
+	}
+	streamEvents(w, r, run, lastEventID(r))
+}
+
+// handleResults streams the run's results as JSON Lines.
+func (s *Service) handleResults(w http.ResponseWriter, r *http.Request, t *tenantState) {
+	run, ok := s.lookupRun(t, r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run")
+		return
+	}
+	streamResults(w, r, run)
+}
+
+// handlePlan dry-runs compilation: the spec is decoded strictly,
+// compiled through the shared session, and rendered with the byte-stable
+// Plan.Render listing (?format=json returns the JSON plan instead).
+// Nothing is admitted or executed.
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request, t *tenantState) {
+	sp, ok := decodeSpecBody(w, r)
+	if !ok {
+		return
+	}
+	plan, err := s.Compile(*sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = plan.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = plan.Render(w)
+}
+
+// Health is the healthz body.
+type Health struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Tenants int    `json:"tenants"`
+	Runs    int    `json:"runs"`
+	Running int    `json:"running"`
+	Queued  int    `json:"queued"`
+}
+
+// handleHealth reports liveness and scheduler counters; it is
+// unauthenticated so orchestrators can probe it.
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := Health{Status: "ok", Tenants: len(s.tenants), Runs: len(s.runs), Running: s.running}
+	for _, t := range s.ring {
+		h.Queued += len(t.queue)
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// This file is the SSE side of the service: encoding a run's event log
+// as a text/event-stream response with resumable ids.
+//
+// The stream contract: every record is written as
+//
+//	id: <per-run event id>
+//	event: <type>
+//	data: <EventRecord JSON>
+//
+// with ids 1-based, gap-free and strictly increasing. A client that
+// reconnects with `Last-Event-ID: n` (or ?last_event_id=n) receives
+// exactly the records after n — no gaps, no duplicates — because the
+// stream is served from the run's append-only event log, not from a
+// live tap. The stream ends after the terminal "run-finished" record.
+
+// writeSSE encodes one record in SSE framing.
+func writeSSE(w io.Writer, rec EventRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", rec.ID, rec.Type, data)
+	return err
+}
+
+// lastEventID extracts the resume position from the standard
+// Last-Event-ID header, falling back to the last_event_id query
+// parameter (handy for curl). Absent or malformed values resume from
+// the beginning.
+func lastEventID(r *http.Request) int {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		v = r.URL.Query().Get("last_event_id")
+	}
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// streamEvents serves a run's event log as SSE from position `after`,
+// following live appends until the log closes or the client leaves.
+func streamEvents(w http.ResponseWriter, r *http.Request, run *Run, after int) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	// Ask reconnecting EventSource clients to back off a moment.
+	fmt.Fprint(w, "retry: 1000\n\n")
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		items, closed, updated := run.events.wait(after)
+		for _, rec := range items {
+			if err := writeSSE(w, rec); err != nil {
+				return
+			}
+			after++
+		}
+		if flusher != nil && len(items) > 0 {
+			flusher.Flush()
+		}
+		if closed && len(items) == 0 {
+			return
+		}
+		if closed {
+			continue // drain whatever was appended between wait and close
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// streamResults serves a run's results as JSON Lines from the per-run
+// buffering sink, following live appends until the run is terminal. The
+// encoding is byte-identical to core.NewJSONLSink writing the same
+// results — a daemon run and a local `run -spec -out` produce the same
+// JSONL for the same outcomes.
+func streamResults(w http.ResponseWriter, r *http.Request, run *Run) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	after := 0
+	for {
+		items, closed, updated := run.results.wait(after)
+		for _, res := range items {
+			if err := enc.Encode(res); err != nil {
+				return
+			}
+			after++
+		}
+		if flusher != nil && len(items) > 0 {
+			flusher.Flush()
+		}
+		if closed && len(items) == 0 {
+			return
+		}
+		if closed {
+			continue
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Default tenant quotas, applied when a Tenant leaves them unset.
+const (
+	DefaultMaxRunning = 1
+	DefaultMaxQueued  = 16
+)
+
+// Tenant is one admission-control principal of the service: requests
+// authenticate with its API key and are charged against its quotas. All
+// tenants share the daemon's session — and therefore its graph store, so
+// one tenant warming a dataset warms it for everyone — but each tenant
+// has its own fair-share queue, and the scheduler's deficit round robin
+// guarantees that no tenant's backlog starves another's.
+type Tenant struct {
+	// Name identifies the tenant in run records and logs.
+	Name string
+	// Key is the API key presented as "Authorization: Bearer <key>" or
+	// "X-API-Key: <key>". At most one tenant may have an empty key: it
+	// becomes the anonymous tenant serving unauthenticated requests.
+	Key string
+	// MaxRunning bounds the tenant's concurrently running runs; values
+	// below 1 select DefaultMaxRunning. Runs beyond it stay queued even
+	// when global slots are free.
+	MaxRunning int
+	// MaxQueued bounds the tenant's queued runs; values below 1 select
+	// DefaultMaxQueued. Submissions beyond it are rejected with 429 and
+	// a Retry-After header.
+	MaxQueued int
+}
+
+// ParseTenant parses the daemon's -tenant flag syntax:
+// "name[:key[:maxRunning[:maxQueued]]]". Omitted fields take the
+// defaults; an omitted or empty key declares the anonymous tenant.
+func ParseTenant(s string) (Tenant, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) > 4 {
+		return Tenant{}, fmt.Errorf("service: tenant %q: want name[:key[:maxRunning[:maxQueued]]]", s)
+	}
+	t := Tenant{Name: parts[0]}
+	if t.Name == "" {
+		return Tenant{}, fmt.Errorf("service: tenant %q: empty name", s)
+	}
+	if len(parts) > 1 {
+		t.Key = parts[1]
+	}
+	var err error
+	if len(parts) > 2 && parts[2] != "" {
+		if t.MaxRunning, err = strconv.Atoi(parts[2]); err != nil {
+			return Tenant{}, fmt.Errorf("service: tenant %q: bad maxRunning: %w", s, err)
+		}
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		if t.MaxQueued, err = strconv.Atoi(parts[3]); err != nil {
+			return Tenant{}, fmt.Errorf("service: tenant %q: bad maxQueued: %w", s, err)
+		}
+	}
+	return t, nil
+}
+
+// tenantState is a tenant plus its scheduler state. All fields are
+// guarded by the service mutex.
+type tenantState struct {
+	Tenant
+	// queue holds the tenant's runs awaiting dispatch, in submission
+	// order.
+	queue []*Run
+	// running counts the tenant's in-flight runs (quota MaxRunning).
+	running int
+	// deficit is the tenant's deficit-round-robin balance in job units:
+	// each scheduler visit adds the quantum, dispatching a run spends
+	// its job count. A tenant that just dispatched a 500-job sweep
+	// starts the next round 500 in the red, so cheaper tenants are
+	// served first until the balance evens out.
+	deficit int
+}
+
+// eligible reports whether the scheduler may dispatch for this tenant:
+// it has queued work and is under its running quota.
+func (t *tenantState) eligible() bool {
+	return len(t.queue) > 0 && t.running < t.MaxRunning
+}
+
+// pop removes and returns the head of the tenant's queue.
+func (t *tenantState) pop() *Run {
+	run := t.queue[0]
+	t.queue = t.queue[1:]
+	return run
+}
+
+// remove deletes a queued run, preserving order; it reports whether the
+// run was found.
+func (t *tenantState) remove(run *Run) bool {
+	for i, r := range t.queue {
+		if r == run {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// normalize applies quota defaults.
+func (t *Tenant) normalize() {
+	if t.MaxRunning < 1 {
+		t.MaxRunning = DefaultMaxRunning
+	}
+	if t.MaxQueued < 1 {
+		t.MaxQueued = DefaultMaxQueued
+	}
+}

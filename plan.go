@@ -72,6 +72,10 @@ func PlanFromSpecs(name string, specs []JobSpec) *Plan { return core.PlanFromSpe
 // LoadSpec reads a JSON benchmark spec from a file.
 func LoadSpec(path string) (*BenchSpec, error) { return core.LoadSpec(path) }
 
+// DecodeSpec reads a JSON benchmark spec from a reader under the same
+// strict unknown-field rules as LoadSpec.
+func DecodeSpec(r io.Reader) (*BenchSpec, error) { return core.DecodeSpec(r) }
+
 // WriteSpec serializes a spec as indented JSON.
 func WriteSpec(w io.Writer, sp *BenchSpec) error { return core.WriteSpec(w, sp) }
 
