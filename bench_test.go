@@ -536,10 +536,13 @@ func BenchmarkStoreWarmLoad(b *testing.B) {
 // so the sweep measures pure scheduling efficiency.
 
 // kernelWorkerCounts is the benchmark sweep: degraded sequential, two
-// workers, and the whole machine.
+// workers, the contract's reference width of eight (worker count is a
+// partitioning parameter under the internal/par determinism contract, so
+// the eight-way point is comparable across hosts even when GOMAXPROCS
+// multiplexes it onto fewer cores), and the whole machine.
 func kernelWorkerCounts() []int {
-	counts := []int{1, 2}
-	if p := runtime.GOMAXPROCS(0); p > 2 {
+	counts := []int{1, 2, 8}
+	if p := runtime.GOMAXPROCS(0); p > 8 {
 		counts = append(counts, p)
 	}
 	return counts
@@ -655,6 +658,31 @@ func BenchmarkRefKernelCDLP(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				algorithms.ParCDLP(g, iters, w)
+			}
+		})
+	}
+}
+
+// BenchmarkRefKernelSSSP runs on R4 (dota-league), the largest weighted
+// stand-in — R5 is unweighted, so SSSP cannot run there. The oracle is
+// the binary-heap Dijkstra; the sweep is delta-stepping at each worker
+// count, bit-identical to the oracle (both compute the unique relaxation
+// fixpoint; see algorithms/sssp.go).
+func BenchmarkRefKernelSSSP(b *testing.B) {
+	g, params := loadBench(b, "R4")
+	src, ok := g.Index(params.Source)
+	if !ok {
+		b.Fatal("benchmark source vertex missing")
+	}
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			algorithms.RefSSSP(g, src)
+		}
+	})
+	for _, w := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				algorithms.ParSSSP(g, src, w)
 			}
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/par"
 )
 
@@ -24,9 +25,10 @@ import (
 //     counts. First-come accumulation is never used.
 //
 // Each kernel takes an explicit worker count; workers <= 0 selects
-// par.Workers sizing from |V|+|E|. SSSP has no parallel variant: the
-// reference is Dijkstra, whose priority order is inherently sequential
-// (RefSSSP remains the reference for it).
+// par.Workers sizing from |V|+|E|. SSSP's parallel variant is the
+// deterministic delta-stepping ParSSSP in sssp.go: relaxation to a
+// fixpoint is order-independent for non-negative weights, so it matches
+// Dijkstra's output bit for bit (RefSSSP stays as the sequential oracle).
 
 // ParBFS is the parallel counterpart of RefBFS: a level-synchronous BFS
 // whose per-worker next-frontiers are merged in chunk order. With
@@ -179,23 +181,78 @@ func findSeq(parent []int32, v int32) int32 {
 	return v
 }
 
-// ParCDLP is the parallel counterpart of RefCDLP: synchronous label
-// propagation over vertex chunks with chunk-private histograms.
+// ParCDLP is the parallel counterpart of RefCDLP: frontier-based
+// synchronous label propagation on the dense label domain. Labels are
+// internal vertex indices throughout (translated to external IDs once at
+// the end; the builder assigns indices in ascending ID order, so the
+// argmax is isomorphic — see mplane.LabelCounts). Each round recomputes
+// only the vertices whose neighborhood changed last round
+// (CDLPFrontierRange; round zero treats every vertex as dirty) and then
+// stamps the next round's frontier from the changed set
+// (CDLPScatterRange). Chunk-private counters are allocated once per
+// worker and reused across rounds, and the loop stops early at a
+// fixpoint — both bit-identical to the dense kernel, since a skipped
+// vertex folds an unchanged multiset and a converged round persists
+// forever.
 func ParCDLP(g *graph.Graph, iterations int, workers int) []int64 {
 	n := g.NumVertices()
 	p := par.Resolve(workers, n+int(g.NumEdges()))
-	labels := make([]int64, n)
-	next := make([]int64, n)
+	out := make([]int64, n)
+	labels := make([]int32, n)
+	next := make([]int32, n)
 	for v := int32(0); v < int32(n); v++ {
-		labels[v] = g.VertexID(v)
+		labels[v] = v
 	}
+	if n == 0 {
+		return out
+	}
+	dirty := make([]uint32, n)
+	changed := make([]bool, n)
+	counters := make([]*mplane.LabelCounts, p)
+	dense := true // round zero treats every vertex as dirty
 	for it := 0; it < iterations; it++ {
-		par.Chunks(n, p, func(_, lo, hi int) {
-			CDLPRange(g, labels, next, lo, hi)
-		})
+		var d []uint32
+		if !dense {
+			d = dirty
+		}
+		stamp := uint32(it)
+		var counts []int
+		if it == 0 {
+			// Identity labels admit a closed-form first round with no
+			// counter at all (see CDLPInitRange).
+			counts = par.Accumulate(n, p, func(_, lo, hi int) int {
+				return CDLPInitRange(g, next, changed, lo, hi)
+			})
+		} else {
+			counts = par.Accumulate(n, p, func(w, lo, hi int) int {
+				c := counters[w]
+				if c == nil {
+					c = &mplane.LabelCounts{}
+					c.EnsureDomain(n)
+					counters[w] = c
+				}
+				return CDLPFrontierRange(g, labels, next, lo, hi, c, d, stamp, changed)
+			})
+		}
 		labels, next = next, labels
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			break
+		}
+		dense = !CDLPScatterWorthwhile(total, n)
+		if !dense && it+1 < iterations {
+			par.Chunks(n, p, func(_, lo, hi int) {
+				CDLPScatterRange(g, changed, dirty, uint32(it+1), lo, hi)
+			})
+		}
 	}
-	return labels
+	for v := 0; v < n; v++ {
+		out[v] = g.VertexID(labels[v])
+	}
+	return out
 }
 
 // ParLCC is the parallel counterpart of RefLCC: local clustering

@@ -2,6 +2,7 @@ package algorithms_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"slices"
@@ -49,15 +50,21 @@ func TestParallelKernelsMatchOracleBitForBit(t *testing.T) {
 			defer runtime.GOMAXPROCS(prev)
 			for _, directed := range []bool{true, false} {
 				g := kernelGraph(t, 0xbeef+int64(procs), directed, false)
+				wg := kernelGraph(t, 0xd15c+int64(procs), directed, true)
 				src, ok := g.Index(7)
 				if !ok {
 					t.Fatal("source vertex missing")
+				}
+				wsrc, ok := wg.Index(7)
+				if !ok {
+					t.Fatal("weighted source vertex missing")
 				}
 				wantBFS := algorithms.RefBFS(g, src)
 				wantPR := algorithms.RefPageRank(g, 10, 0.85)
 				wantWCC := algorithms.RefWCC(g)
 				wantCDLP := algorithms.RefCDLP(g, 5)
 				wantLCC := algorithms.RefLCC(g)
+				wantSSSP := algorithms.RefSSSP(wg, wsrc)
 				// workers=0 exercises automatic sizing under the current
 				// GOMAXPROCS; the explicit counts pin chunk geometries.
 				for _, workers := range []int{0, 1, 2, 8} {
@@ -76,6 +83,9 @@ func TestParallelKernelsMatchOracleBitForBit(t *testing.T) {
 					}
 					if got := algorithms.ParLCC(g, workers); !slices.Equal(got, wantLCC) {
 						t.Errorf("%s: ParLCC not bit-identical to RefLCC", name)
+					}
+					if got := algorithms.ParSSSP(wg, wsrc, workers); !slices.Equal(got, wantSSSP) {
+						t.Errorf("%s: ParSSSP not bit-identical to RefSSSP", name)
 					}
 				}
 			}
@@ -102,6 +112,97 @@ func TestRunReferenceWorkersMatchesSequential(t *testing.T) {
 			if !slices.Equal(auto.Int, pinned.Int) || !slices.Equal(auto.Float, pinned.Float) {
 				t.Errorf("%s: workers=%d output differs from automatic sizing", a, workers)
 			}
+		}
+	}
+}
+
+// TestParSSSPDisconnected checks that vertices outside the source's
+// component keep +Inf on the delta-stepping path at every worker count —
+// they must never enter a bucket, not even the overflow one.
+func TestParSSSPDisconnected(t *testing.T) {
+	b := graph.NewBuilder(true, true)
+	b.AddVertex(99) // isolated
+	b.AddWeightedEdge(1, 2, 0.5)
+	b.AddWeightedEdge(2, 3, 1.25)
+	b.AddWeightedEdge(60, 70, 2.0) // separate component
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.Index(1)
+	want := algorithms.RefSSSP(g, src)
+	for _, workers := range []int{1, 2, 8} {
+		got := algorithms.ParSSSP(g, src, workers)
+		if !slices.Equal(got, want) {
+			t.Errorf("workers=%d: ParSSSP differs from RefSSSP", workers)
+		}
+		for _, id := range []int64{99, 60, 70} {
+			ix, _ := g.Index(id)
+			if !math.IsInf(got[ix], 1) {
+				t.Errorf("workers=%d: vertex %d distance = %v, want +Inf", workers, id, got[ix])
+			}
+		}
+	}
+}
+
+// TestParSSSPZeroAndTiedWeights covers the degenerate weight cases:
+// zero-weight edges (an improvement by 0 is not an improvement, so they
+// cannot cycle), repeated weight values, and tied alternative paths whose
+// equal totals make the relaxation order visible if the kernel ever broke
+// from the fixpoint argument. Both orientations of a directed pair are
+// distinct edges and must both relax.
+func TestParSSSPZeroAndTiedWeights(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		b := graph.NewBuilder(directed, true)
+		b.AddWeightedEdge(1, 2, 0)
+		b.AddWeightedEdge(2, 3, 0)
+		b.AddWeightedEdge(1, 3, 0) // tie with the 1->2->3 chain
+		b.AddWeightedEdge(3, 4, 1.5)
+		b.AddWeightedEdge(1, 4, 1.5) // tie again, repeated weight value
+		b.AddWeightedEdge(4, 5, 0.25)
+		if directed {
+			b.AddWeightedEdge(5, 1, 0.25) // back edge closing a cycle
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, _ := g.Index(1)
+		want := algorithms.RefSSSP(g, src)
+		for _, workers := range []int{1, 2, 8} {
+			if got := algorithms.ParSSSP(g, src, workers); !slices.Equal(got, want) {
+				t.Errorf("directed=%v workers=%d: ParSSSP differs from RefSSSP", directed, workers)
+			}
+		}
+	}
+}
+
+// TestParCDLPOscillation pins the frontier kernel on a non-converging
+// input: in a two-vertex component the labels swap every round, so the
+// frontier never empties and the iteration cap is what stops the job. The
+// result depends on the parity of the cap, which makes any miscounted or
+// skipped round visible.
+func TestParCDLPOscillation(t *testing.T) {
+	b := graph.NewBuilder(false, false)
+	b.AddEdge(10, 20) // oscillating pair
+	b.AddEdge(30, 40) // second pair, converges the same way
+	b.AddEdge(40, 50)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iterations := range []int{1, 2, 5, 6} {
+		want := algorithms.RefCDLP(g, iterations)
+		for _, workers := range []int{1, 2, 8} {
+			if got := algorithms.ParCDLP(g, iterations, workers); !slices.Equal(got, want) {
+				t.Errorf("iterations=%d workers=%d: ParCDLP differs from RefCDLP", iterations, workers)
+			}
+		}
+		a, _ := g.Index(10)
+		bb, _ := g.Index(20)
+		if want[a] == 10 != (iterations%2 == 0) {
+			t.Errorf("iterations=%d: pair label %d/%d does not alternate with the cap's parity",
+				iterations, want[a], want[bb])
 		}
 	}
 }

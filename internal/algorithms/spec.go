@@ -128,9 +128,10 @@ func RunReference(g *graph.Graph, a Algorithm, p Params) (*Output, error) {
 }
 
 // RunReferenceWorkers is RunReference with an explicit worker count;
-// workers <= 0 sizes the pool automatically from the graph. SSSP always
-// runs the sequential Dijkstra reference: its priority order is
-// inherently sequential and has no parallel variant.
+// workers <= 0 sizes the pool automatically from the graph. The pinned
+// count covers all six algorithms, including SSSP: delta-stepping ParSSSP
+// honors the pin on every relax phase (and in its Delta reduction), and
+// like the other kernels its output is bit-identical at every count.
 func RunReferenceWorkers(g *graph.Graph, a Algorithm, p Params, workers int) (*Output, error) {
 	p = p.WithDefaults(a)
 	switch a {
@@ -156,7 +157,7 @@ func RunReferenceWorkers(g *graph.Graph, a Algorithm, p Params, workers int) (*O
 		if !ok {
 			return nil, fmt.Errorf("%w: %d", ErrSourceNotFound, p.Source)
 		}
-		return &Output{Algorithm: SSSP, Float: RefSSSP(g, src)}, nil
+		return &Output{Algorithm: SSSP, Float: ParSSSP(g, src, workers)}, nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, a)
 	}

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"math"
 	"sync/atomic"
 
 	"graphalytics/internal/graph"
@@ -95,6 +96,246 @@ func CDLPRangeHist(g *graph.Graph, labels, next []int64, lo, hi int, h *mplane.H
 		}
 		next[v] = h.Best(labels[v])
 	}
+}
+
+// CDLPFrontierRange is the frontier-gated variant of CDLPRangeHist on the
+// dense label domain: labels are internal vertex indices (monotone with
+// external IDs, so the (count, smallest) argmax is isomorphic — see
+// mplane.LabelCounts), counted by direct indexing instead of hashing. It
+// recomputes only the vertices in [lo, hi) whose dirty stamp matches this
+// round (a neighbor changed last round) and copies labels through for the
+// rest. A nil dirty slice means every vertex is dirty (round zero).
+// changed[v] records whether v's label moved this round — the input to the
+// next round's CDLPScatterRange — and the return value counts the changed
+// vertices in the range, so callers can stop at a fixpoint: once a round
+// changes nothing, every future round would also change nothing, and the
+// early exit is bit-identical to running all remaining rounds.
+//
+// Skipping is exact, not approximate. A skipped vertex saw no neighbor
+// change, so its label multiset is the one it already folded; the argmax
+// depends only on the multiset whenever the multiset is non-empty (the
+// vertex's own label only breaks the empty case, and then it is unchanged
+// too), so recomputing would reproduce labels[v] bit for bit.
+func CDLPFrontierRange(g *graph.Graph, labels, next []int32, lo, hi int, c *mplane.LabelCounts, dirty []uint32, stamp uint32, changed []bool) int {
+	cnt := 0
+	directed := g.Directed()
+	for v := lo; v < hi; v++ {
+		if dirty != nil && dirty[v] != stamp {
+			next[v] = labels[v]
+			changed[v] = false
+			continue
+		}
+		nl := cdlpFold(g, labels, int32(v), directed, c)
+		next[v] = nl
+		if nl != labels[v] {
+			changed[v] = true
+			cnt++
+		} else {
+			changed[v] = false
+		}
+	}
+	return cnt
+}
+
+// CDLPInitRange runs CDLP's round zero in closed form, assuming identity
+// labels (labels[u] == u, the initial state). Every label in the multiset
+// is then distinct per neighbor and adjacency lists are sorted ascending,
+// so the argmax needs no counter: on undirected graphs every count is 1
+// and the winner is the smallest neighbor — out[0]; on directed graphs a
+// vertex appearing in both out(v) and in(v) counts twice and beats all
+// singletons, so the winner is the smallest out/in duplicate (the first
+// hit of a sorted merge) or, failing that, the smaller of the two list
+// heads. next[v] receives the winner (or v when isolated), changed[v]
+// whether it moved, and the return value counts the changed vertices.
+func CDLPInitRange(g *graph.Graph, next []int32, changed []bool, lo, hi int) int {
+	cnt := 0
+	directed := g.Directed()
+	for v := lo; v < hi; v++ {
+		var in []int32
+		if directed {
+			in = g.InNeighbors(int32(v))
+		}
+		nl := CDLPInitLabel(int32(v), g.OutNeighbors(int32(v)), in, directed)
+		next[v] = nl
+		if nl != int32(v) {
+			changed[v] = true
+			cnt++
+		} else {
+			changed[v] = false
+		}
+	}
+	return cnt
+}
+
+// CDLPInitLabel is the per-vertex closed form of the round-zero update,
+// usable by engines over their own (sorted, duplicate-free) adjacency
+// layouts: fwd is the vertex's neighbor list (undirected graphs pass only
+// this), rev the opposite direction for directed graphs.
+func CDLPInitLabel(v int32, fwd, rev []int32, directed bool) int32 {
+	if !directed {
+		if len(fwd) > 0 {
+			return fwd[0]
+		}
+		return v
+	}
+	i, j := 0, 0
+	for i < len(fwd) && j < len(rev) {
+		switch {
+		case fwd[i] < rev[j]:
+			i++
+		case rev[j] < fwd[i]:
+			j++
+		default:
+			return fwd[i] // smallest duplicate: the only count-2 winner
+		}
+	}
+	switch {
+	case len(fwd) > 0 && (len(rev) == 0 || fwd[0] < rev[0]):
+		return fwd[0]
+	case len(rev) > 0:
+		return rev[0]
+	}
+	return v
+}
+
+// CDLPFoldVertex computes one vertex's CDLP update on the dense label
+// domain — the multiset argmax of the neighbors' labels — for engines
+// whose round structure walks their own vertex lists rather than index
+// ranges. c must be an all-zero counter sized for the domain; it is left
+// all-zero again on return.
+func CDLPFoldVertex(g *graph.Graph, labels []int32, v int32, c *mplane.LabelCounts) int32 {
+	return cdlpFold(g, labels, v, g.Directed(), c)
+}
+
+// cdlpFold computes one vertex's CDLP update on the dense label domain.
+// Degree-0/1/2 neighborhoods — the bulk of many real graphs — resolve
+// without touching the counter: a single label wins outright, and two
+// labels tie toward the smaller exactly as the argmax would.
+func cdlpFold(g *graph.Graph, labels []int32, v int32, directed bool, c *mplane.LabelCounts) int32 {
+	out := g.OutNeighbors(v)
+	if !directed {
+		switch len(out) {
+		case 0:
+			return labels[v]
+		case 1:
+			return labels[out[0]]
+		case 2:
+			a, b := labels[out[0]], labels[out[1]]
+			if b < a {
+				return b
+			}
+			return a
+		}
+		for _, u := range out {
+			c.Add(labels[u])
+		}
+		return c.BestAndReset(labels[v])
+	}
+	in := g.InNeighbors(v)
+	switch len(out) + len(in) {
+	case 0:
+		return labels[v]
+	case 1:
+		if len(out) == 1 {
+			return labels[out[0]]
+		}
+		return labels[in[0]]
+	}
+	for _, u := range out {
+		c.Add(labels[u])
+	}
+	for _, u := range in {
+		c.Add(labels[u])
+	}
+	return c.BestAndReset(labels[v])
+}
+
+// CDLPScatterRange marks the next round's frontier: every neighbor of a
+// vertex that changed this round gets its dirty slot stamped with the next
+// round's stamp. The dependency set of a vertex is its out- plus
+// in-neighborhood (both directions count in CDLP), and adjacency is
+// symmetric across the pair — u is in v's multiset exactly when v is in
+// u's scatter set — so stamping out(u) and, on directed graphs, in(u)
+// reaches precisely the vertices whose multiset u's change invalidated
+// (including u itself via self-loops). Loads and stores are atomic
+// because chunks race on shared neighbors; all writes store the same
+// stamp, so the outcome is order-independent, and the load-before-store
+// turns the common already-marked case (shared neighbors of hubs) into a
+// read instead of a contended write. Stamps make clearing unnecessary: a
+// slot is dirty only if it holds exactly this round's stamp.
+func CDLPScatterRange(g *graph.Graph, changed []bool, dirty []uint32, stamp uint32, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		if !changed[v] {
+			continue
+		}
+		for _, u := range g.OutNeighbors(int32(v)) {
+			if atomic.LoadUint32(&dirty[u]) != stamp {
+				atomic.StoreUint32(&dirty[u], stamp)
+			}
+		}
+		if g.Directed() {
+			for _, u := range g.InNeighbors(int32(v)) {
+				if atomic.LoadUint32(&dirty[u]) != stamp {
+					atomic.StoreUint32(&dirty[u], stamp)
+				}
+			}
+		}
+	}
+}
+
+// CDLPScatterWorthwhile decides whether the next round should bother with
+// a frontier at all: once more than 1/8 of the vertices changed, their
+// combined neighborhoods blanket the graph, so the next round is treated
+// as fully dirty and the scatter pass is skipped entirely. Over-marking
+// is always exact — recomputing a clean vertex reproduces its label bit
+// for bit — so this trades a few redundant folds for skipping the
+// edge-proportional marking sweep in exactly the rounds where it is most
+// expensive and least selective.
+func CDLPScatterWorthwhile(changedCount, n int) bool {
+	return changedCount*8 <= n
+}
+
+// SSSPRelaxRange relaxes the out-edges of a slice of the current
+// delta-stepping frontier against the shared distance array (float64 bits;
+// see SSSPBuckets) and returns out extended with every vertex whose
+// distance improved, claimed exactly once per relax phase. Improvements
+// are CAS-min loops on the raw bits — non-negative floats order the same
+// as their bit patterns' values, and distances only decrease — and the
+// claim is a CAS on the phase stamp so concurrent chunks never append the
+// same vertex twice in one phase. A frontier vertex whose own distance
+// improves mid-scan may relax with a stale (larger) value; that is just a
+// weaker relaxation, and the improver has re-claimed the vertex for the
+// next phase, so the fixpoint is unaffected.
+func SSSPRelaxRange(g *graph.Graph, dist []uint64, frontier []int32, claimed []uint32, stamp uint32, out []int32) []int32 {
+	for _, v := range frontier {
+		dv := math.Float64frombits(atomic.LoadUint64(&dist[v]))
+		ns := g.OutNeighbors(v)
+		ws := g.OutWeights(v)
+		for i, u := range ns {
+			nd := dv + ws[i]
+			ndBits := math.Float64bits(nd)
+			for {
+				old := atomic.LoadUint64(&dist[u])
+				if math.Float64frombits(old) <= nd {
+					break
+				}
+				if atomic.CompareAndSwapUint64(&dist[u], old, ndBits) {
+					for {
+						c := atomic.LoadUint32(&claimed[u])
+						if c == stamp {
+							break
+						}
+						if atomic.CompareAndSwapUint32(&claimed[u], c, stamp) {
+							out = append(out, u)
+							break
+						}
+					}
+					break
+				}
+			}
+		}
+	}
+	return out
 }
 
 // LCCRange computes local clustering coefficients for v in [lo, hi) into

@@ -60,3 +60,29 @@ func TestWCCSteadyStateAllocs(t *testing.T) {
 			"(per-iteration allocation has regressed)", allocs)
 	}
 }
+
+// TestCDLPSteadyStateAllocs guards the frontier CDLP flow: the dirty and
+// changed masks, per-partition update counters and the shuffle plane are
+// all pooled, so after warm-up a whole run — receiver-gated sends, the
+// uncharged mark pass, early convergence — allocates only the label
+// arrays plus a constant number of round descriptors.
+func TestCDLPSteadyStateAllocs(t *testing.T) {
+	g := allocGraph(t, 4000, 4)
+	up, err := New().Upload(g, platform.RunConfig{Threads: 4, Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := up.(*uploaded)
+	defer u.Free()
+	run := func() {
+		if _, err := cdlpFlow(context.Background(), u, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up: grows the shuffle plane and the CDLP scratch
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs > 64 {
+		t.Fatalf("steady-state CDLP run allocated %.0f objects, want <= 64 "+
+			"(per-iteration allocation has regressed)", allocs)
+	}
+}

@@ -25,7 +25,9 @@ type dfScratch struct {
 	f64 mail[float64]
 	i32 mail[int32]
 
-	hist     *mplane.Histogram
+	counts   mplane.LabelCounts
+	labels   []int32   // cdlp working labels (internal-index domain)
+	nextLab  []int32   //
 	perVPart []int     // per-vertex-partition update counters
 	active   []bool    // frontier flags (bfs, sssp)
 	nextActv []bool    //
@@ -42,7 +44,7 @@ type mail[M any] struct {
 // acquireScratch checks the scratch out of the upload's pool.
 func acquireScratch(u *uploaded) *dfScratch {
 	return mplane.Acquire(&u.scratch, func() *dfScratch {
-		return &dfScratch{hist: mplane.NewHistogram(16)}
+		return &dfScratch{}
 	})
 }
 
@@ -89,12 +91,15 @@ func runFlow[M any](ctx context.Context, u *uploaded, mb *mail[M], shipFraction 
 			send(st, u.eparts[mine[i]])
 		})
 		var wire int64
+		single := cl.Machines() == 1 // no message can be remote
 		for _, p := range mine {
 			st := &mb.stages[p]
 			epMach := u.emachine[p]
-			for _, dst := range st.Dst {
-				if u.machineOf[u.vpartOf[dst]] != epMach {
-					wire += msgBytes + 4
+			if !single {
+				for _, dst := range st.Dst {
+					if u.machineOf[u.vpartOf[dst]] != epMach {
+						wire += msgBytes + 4
+					}
 				}
 			}
 			mb.inbox.Count(st)
@@ -325,46 +330,193 @@ func wccFlow(ctx context.Context, u *uploaded) ([]int64, error) {
 	return labels, nil
 }
 
-// cdlpFlow shuffles full label multisets every iteration: one label per
+// cdlpFlow is frontier-based label propagation on the dataflow plane.
+// The first iteration shuffles the full label multiset (one label per
 // edge per direction, nothing combinable — the cost that makes CDLP on
-// dataflow engines fail the SLA at scale in the paper. The per-vertex
-// multiset lands as one CSR inbox segment and is counted by the shared
-// dense histogram instead of a fresh map per vertex.
+// dataflow engines fail the SLA at scale in the paper); every later
+// iteration gates the triplet scan on the receiver's dirty flag, so only
+// vertices whose neighborhood changed last round get a multiset at all —
+// and a dirty vertex still receives its complete multiset, since both
+// triplet directions gate on the receiver. Everyone else's segment is
+// empty and its label is copied through, which the multiset-only argmax
+// makes bit-identical to recomputing (the multiset it would fold is
+// unchanged). The attribute-ship fraction and the message volume both
+// shrink to the changed frontier, and the loop ends early at a fixpoint.
+// The dirty flags are rebuilt between iterations from the changed set —
+// uncharged harness bookkeeping, like pregel's active-list rebuild; the
+// modeled cost of frontier maintenance is the change-notification traffic
+// the gated shuffle already accounts.
+//
+// The fold runs on the dense label domain: labels are internal vertex
+// indices counted by direct indexing (mplane.LabelCounts; the argmax is
+// isomorphic to the external-ID one — see that type) and translated once
+// at the end; the shuffle ships int32 indices while the charged message
+// size stays 12 bytes (id + 8-byte label), so the modeled traffic is
+// unchanged. Dense iterations — the first, and any whose changed set
+// still blankets the graph — skip the staging machinery entirely and run
+// as charge-identical direct folds (see cdlpDenseRound).
 func cdlpFlow(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 	n := u.G.NumVertices()
 	sc := acquireScratch(u)
 	defer u.scratch.Put(sc)
-	labels := make([]int64, n)
-	next := make([]int64, n)
-	for v := 0; v < n; v++ {
-		labels[v] = u.G.VertexID(int32(v))
+	out := make([]int64, n)
+	if n == 0 {
+		return out, nil
 	}
+	sc.counts.EnsureDomain(n)
+	sc.labels = mplane.Grow(sc.labels, n)
+	sc.nextLab = mplane.Grow(sc.nextLab, n)
+	labels, next := sc.labels, sc.nextLab
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = v
+	}
+	dirty, changed := sc.frontier(n)
+	frac := 1.0
+	dense := true // round zero ships everything
 	for it := 0; it < iterations; it++ {
-		err := runFlow(ctx, u, &sc.i64, 1, 12,
-			func(em *mplane.Stage[int64], ep *edgePartition) {
-				for i, s := range ep.src {
-					d := ep.dst[i]
-					em.Send(d, labels[s])
-					em.Send(s, labels[d])
-				}
-			},
-			func(vp int, v int32, msgs []int64) {
-				if len(msgs) == 0 {
-					next[v] = labels[v]
-					return
-				}
-				sc.hist.Reset()
-				for _, l := range msgs {
-					sc.hist.Add(l)
-				}
-				next[v] = sc.hist.Best(labels[v])
-			})
+		updates := sc.counters(len(u.vparts))
+		var err error
+		if dense {
+			err = cdlpDenseRound(ctx, u, &sc.counts, labels, next, changed, updates, frac, it == 0)
+		} else {
+			err = runFlow(ctx, u, &sc.i32, frac, 12,
+				func(em *mplane.Stage[int32], ep *edgePartition) {
+					for i, s := range ep.src {
+						d := ep.dst[i]
+						if dirty[d] {
+							em.Send(d, labels[s])
+						}
+						if dirty[s] {
+							em.Send(s, labels[d])
+						}
+					}
+				},
+				func(vp int, v int32, msgs []int32) {
+					if len(msgs) == 0 {
+						next[v] = labels[v]
+						changed[v] = false
+						return
+					}
+					for _, l := range msgs {
+						sc.counts.Add(l)
+					}
+					nl := sc.counts.BestAndReset(labels[v])
+					next[v] = nl
+					if nl != labels[v] {
+						changed[v] = true
+						updates[vp]++
+					} else {
+						changed[v] = false
+					}
+				})
+		}
 		if err != nil {
 			return nil, err
 		}
 		labels, next = next, labels
+		total := 0
+		for _, c := range updates {
+			total += c
+		}
+		if total == 0 {
+			break
+		}
+		frac = float64(total) / float64(n)
+		// While the changed set blankets the graph, skip the mask rebuild
+		// and ship the next round dense (over-marking is exact; see
+		// algorithms.CDLPScatterWorthwhile).
+		dense = !algorithms.CDLPScatterWorthwhile(total, n)
+		if !dense && it+1 < iterations {
+			clear(dirty)
+			for _, ep := range u.eparts {
+				for i, s := range ep.src {
+					d := ep.dst[i]
+					if changed[s] {
+						dirty[d] = true
+					}
+					if changed[d] {
+						dirty[s] = true
+					}
+				}
+			}
+		}
 	}
-	return labels, nil
+	for v := int32(0); v < int32(n); v++ {
+		out[v] = u.G.VertexID(labels[v])
+	}
+	return out, nil
+}
+
+// cdlpDenseRound replays one dense CDLP shuffle as pure accounting plus a
+// direct fold: in a dense round every edge ships both endpoint labels, so
+// the multiset each vertex would receive is exactly the adjacency fold of
+// the current label array (algorithms.CDLPFoldVertex) — and on the first
+// round, with identity labels, its mode has a closed form over the sorted
+// adjacency (algorithms.CDLPInitLabel). The round charges the same wire
+// the staged shuffle would — one (id, label) message per edge per
+// direction, remote when the edge partition and the receiving vertex
+// partition live on different machines, plus the frac-scaled attribute
+// ship — without staging a single message, and keeps the same
+// round/barrier shape as runFlow. This is an execution-level strength
+// reduction only: the charged traffic, the outputs, and the round
+// structure are identical to the staged path, which still runs for every
+// frontier-masked round.
+func cdlpDenseRound(ctx context.Context, u *uploaded, counts *mplane.LabelCounts, labels, next []int32, changed []bool, updates []int, frac float64, first bool) error {
+	if err := platform.CheckContext(ctx); err != nil {
+		return err
+	}
+	cl := u.Cl
+	if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
+		var wire int64
+		if cl.Machines() > 1 {
+			for _, p := range u.machEparts[mach] {
+				ep := u.eparts[p]
+				epMach := u.emachine[p]
+				for i := range ep.src {
+					if u.machineOf[u.vpartOf[ep.dst[i]]] != epMach {
+						wire += 16
+					}
+					if u.machineOf[u.vpartOf[ep.src[i]]] != epMach {
+						wire += 16
+					}
+				}
+			}
+		}
+		cl.Send(mach, (mach+1)%cl.Machines(), wire)
+		cl.Send(mach, (mach+1)%cl.Machines(), int64(float64(u.shipBytes[mach])*frac))
+		return nil
+	}); err != nil {
+		return err
+	}
+	cl.RunBarrier(func() {}) // the shuffle barrier; nothing staged
+	g := u.G
+	directed := g.Directed()
+	return cl.RunRound(func(mach int, th *cluster.Threads) error {
+		mine := u.machVparts[mach]
+		th.For(len(mine), func(i int) {
+			p := mine[i]
+			for _, v := range u.vparts[p] {
+				var nl int32
+				if first {
+					var in []int32
+					if directed {
+						in = g.InNeighbors(v)
+					}
+					nl = algorithms.CDLPInitLabel(v, g.OutNeighbors(v), in, directed)
+				} else {
+					nl = algorithms.CDLPFoldVertex(g, labels, v, counts)
+				}
+				next[v] = nl
+				if nl != labels[v] {
+					changed[v] = true
+					updates[p]++
+				} else {
+					changed[v] = false
+				}
+			}
+		})
+		return nil
+	})
 }
 
 // lccFlow runs two aggregations: the first materializes every vertex's

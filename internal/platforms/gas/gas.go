@@ -68,8 +68,11 @@ type machineArcs struct {
 	// dstOrder is a permutation of arc indices sorted by (dst, src); it
 	// drives the gather phase, in which each destination group is folded
 	// by exactly one thread, keeping accumulation deterministic without a
-	// second copy of the arc array.
+	// second copy of the arc array. srcByDst materializes the arc sources
+	// in that order so label gathers read one flat int32 array instead of
+	// chasing the permutation into the arc structs.
 	dstOrder []int32
+	srcByDst []int32
 	dsts     []int32
 	doff     []int32
 }
@@ -248,8 +251,10 @@ func buildMachineArcs(g *graph.Graph, arcs []cluster.Arc) *machineArcs {
 		}
 		return int(a.Src) - int(b.Src)
 	})
+	ma.srcByDst = make([]int32, len(sorted))
 	for i, k := range ma.dstOrder {
 		a := sorted[k]
+		ma.srcByDst[i] = a.Src
 		if i == 0 || a.Dst != sorted[ma.dstOrder[i-1]].Dst {
 			ma.dsts = append(ma.dsts, a.Dst)
 			ma.doff = append(ma.doff, int32(i))

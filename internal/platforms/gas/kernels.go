@@ -12,20 +12,35 @@ import (
 	"graphalytics/internal/platform"
 )
 
-// gasScratch is the engine's job-lifetime gather plane for CDLP: the flat
-// label buffer laid out by the upload's static CSR offsets, the per-vertex
-// write cursors, and the dense label histogram. Checked out of the
-// uploaded state's pool per Execute, so steady-state iterations allocate
-// nothing.
+// gasScratch is the engine's job-lifetime working state for CDLP and
+// SSSP: the flat label buffer laid out by the upload's static CSR
+// offsets, the per-vertex write cursors, the dense label histogram, the
+// CDLP frontier flags, and the SSSP relaxation plane (distance bits,
+// claim stamps, per-thread and per-machine discovery lists). Checked out
+// of the uploaded state's pool per Execute, so steady-state iterations
+// allocate nothing.
 type gasScratch struct {
-	labelBuf []int64
+	labelBuf []int32 // gathered neighbor labels (internal-index domain)
+	labels   []int32 // CDLP working labels
 	pos      []int32
-	hist     *mplane.Histogram
+	counts   mplane.LabelCounts
+	dirty    []bool
+	changed  []bool
+	// Per-round thread partials, pooled so rounds allocate nothing.
+	wireParts  []int64
+	bcastParts []int64
+	countParts []int
+
+	bits    []uint64  // sssp tentative distances (float64 bits)
+	claimed []uint32  // per-round discovery claims
+	parts   [][]int32 // per-thread relax outputs, reused machine to machine
+	disc    [][]int32 // per-machine discovered lists
+	front   []int32   // global frontier
 }
 
 func acquireScratch(u *uploaded) *gasScratch {
 	return mplane.Acquire(&u.scratch, func() *gasScratch {
-		return &gasScratch{hist: mplane.NewHistogram(16)}
+		return &gasScratch{}
 	})
 }
 
@@ -278,37 +293,73 @@ func wccGAS(ctx context.Context, u *uploaded) ([]int64, error) {
 
 // cdlpGAS gathers neighbor labels (labels cannot be pre-combined) into
 // the flat label buffer laid out by the upload's static CSR offsets, then
-// applies the deterministic mode on masters with the dense histogram.
-// Per-vertex write cursors replace the seed's per-vertex append lists;
-// the apply phase rewinds each master's cursor for the next iteration.
+// applies the deterministic mode on masters with the dense-domain counter
+// (labels are internal vertex indices throughout, translated to external
+// IDs once at the end — the argmax is isomorphic, see mplane.LabelCounts;
+// wire bytes still model 8-byte external labels). Per-vertex write
+// cursors replace the seed's per-vertex append lists; the apply phase
+// rewinds each master's cursor for the next iteration. On undirected
+// graphs the first apply needs no counter at all: identity labels make
+// every gathered label distinct, so the mode is the minimum of the
+// segment.
+//
+// The iterations are frontier-based: after the first, only vertices whose
+// neighborhood changed last round are gathered and applied — a skipped
+// vertex would fold the same multiset and land on the same label (the
+// argmax depends only on the multiset) — so both the gather traffic and
+// the master broadcast shrink to the changed set (mirror updates are
+// charged per changed replica, as in wccGAS, instead of the dense
+// bcastCount), and the loop ends early at a fixpoint. The dirty flags are
+// rebuilt between rounds from the changed set by rescanning the local arc
+// groups — uncharged harness bookkeeping, like pregel's active-list
+// rebuild; the modeled frontier-maintenance cost is the gated
+// gather/broadcast traffic itself. While the changed set still blankets
+// the graph the rebuild is skipped and the next round runs dense
+// (algorithms.CDLPScatterWorthwhile; over-marking is exact).
 func cdlpGAS(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 	g, cl := u.G, u.Cl
 	n := g.NumVertices()
 	sc := acquireScratch(u)
 	defer u.scratch.Put(sc)
-	labels := make([]int64, n)
+	out := make([]int64, n)
+	if n == 0 {
+		return out, nil
+	}
+	sc.counts.EnsureDomain(n)
+	sc.labels = mplane.Grow(sc.labels, n)
+	labels := sc.labels
 	for v := int32(0); v < int32(n); v++ {
-		labels[v] = g.VertexID(v)
+		labels[v] = v
 	}
 	sc.labelBuf = mplane.Grow(sc.labelBuf, u.labelTotal)
 	sc.pos = mplane.Grow(sc.pos, n)
 	copy(sc.pos, u.labelOff[:n])
+	sc.dirty = mplane.Grow(sc.dirty, n)
+	sc.changed = mplane.Grow(sc.changed, n)
 	labelBuf, pos := sc.labelBuf, sc.pos
+	dirty, changed := sc.dirty, sc.changed
+	dense := true // round zero treats every vertex as dirty
 	for it := 0; it < iterations; it++ {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
 		}
+		first := it == 0
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			ma := u.local[mach]
 			var wire int64
-			wireParts := make([]int64, th.Count())
+			sc.wireParts = mplane.Grow(sc.wireParts, th.Count())
+			wireParts := sc.wireParts[:th.Count()]
+			clear(wireParts)
 			th.ChunksIndexed(len(ma.dsts), func(w, lo, hi int) {
 				var bytes int64
 				for i := lo; i < hi; i++ {
 					dst := ma.dsts[i]
+					if !dense && !dirty[dst] {
+						continue
+					}
 					p := pos[dst]
-					for k := ma.doff[i]; k < ma.doff[i+1]; k++ {
-						labelBuf[p] = labels[ma.arcByDst(k).Src]
+					for _, src := range ma.srcByDst[ma.doff[i]:ma.doff[i+1]] {
+						labelBuf[p] = labels[src]
 						p++
 					}
 					pos[dst] = p
@@ -323,6 +374,9 @@ func cdlpGAS(ctx context.Context, u *uploaded, iterations int) ([]int64, error) 
 				th.Chunks(len(ma.srcs), func(lo, hi int) {
 					for i := lo; i < hi; i++ {
 						src := ma.srcs[i]
+						if !dense && !dirty[src] {
+							continue
+						}
 						p := pos[src]
 						for _, a := range ma.arcs[ma.off[i]:ma.off[i+1]] {
 							labelBuf[p] = labels[a.Dst]
@@ -340,27 +394,106 @@ func cdlpGAS(ctx context.Context, u *uploaded, iterations int) ([]int64, error) 
 		}); err != nil {
 			return nil, err
 		}
+		total := 0
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			verts := u.masterVerts[mach]
-			th.Chunks(len(verts), func(lo, hi int) {
+			var bcast int64
+			sc.bcastParts = mplane.Grow(sc.bcastParts, th.Count())
+			sc.countParts = mplane.Grow(sc.countParts, th.Count())
+			bcastParts := sc.bcastParts[:th.Count()]
+			countParts := sc.countParts[:th.Count()]
+			clear(bcastParts)
+			clear(countParts)
+			th.ChunksIndexed(len(verts), func(w, lo, hi int) {
+				var bc int64
+				cnt := 0
 				for _, v := range verts[lo:hi] {
+					if !dense && !dirty[v] {
+						changed[v] = false
+						continue
+					}
+					changed[v] = false
 					if seg := labelBuf[u.labelOff[v]:pos[v]]; len(seg) > 0 {
-						sc.hist.Reset()
-						for _, l := range seg {
-							sc.hist.Add(l)
+						var nl int32
+						if first && !g.Directed() {
+							// Identity labels are all distinct, so the
+							// mode is the segment minimum.
+							nl = seg[0]
+							for _, l := range seg[1:] {
+								if l < nl {
+									nl = l
+								}
+							}
+						} else {
+							for _, l := range seg {
+								sc.counts.Add(l)
+							}
+							nl = sc.counts.BestAndReset(labels[v])
 						}
-						labels[v] = sc.hist.Best(labels[v])
+						if nl != labels[v] {
+							labels[v] = nl
+							changed[v] = true
+							cnt++
+							bc += int64(u.replicaCount[v]-1) * 8
+						}
 						pos[v] = u.labelOff[v]
 					}
 				}
+				bcastParts[w] = bc
+				countParts[w] = cnt
 			})
-			cl.Send(mach, (mach+1)%cl.Machines(), u.bcastCount[mach]*8)
+			for _, b := range bcastParts {
+				bcast += b
+			}
+			for _, c := range countParts {
+				total += c
+			}
+			cl.Send(mach, (mach+1)%cl.Machines(), bcast)
 			return nil
 		}); err != nil {
 			return nil, err
 		}
+		if total == 0 {
+			break
+		}
+		dense = !algorithms.CDLPScatterWorthwhile(total, n)
+		if !dense && it+1 < iterations {
+			// Uncharged frontier rebuild: a vertex is dirty next round iff
+			// one of the endpoints its gather reads from changed this round.
+			clear(dirty)
+			for m := 0; m < cl.Machines(); m++ {
+				ma := u.local[m]
+				for i, dst := range ma.dsts {
+					if dirty[dst] {
+						continue
+					}
+					for _, src := range ma.srcByDst[ma.doff[i]:ma.doff[i+1]] {
+						if changed[src] {
+							dirty[dst] = true
+							break
+						}
+					}
+				}
+				if g.Directed() {
+					for i, src := range ma.srcs {
+						if dirty[src] {
+							continue
+						}
+						for _, a := range ma.arcs[ma.off[i]:ma.off[i+1]] {
+							if changed[a.Dst] {
+								dirty[src] = true
+								break
+							}
+						}
+					}
+				}
+			}
+		}
 	}
-	return labels, nil
+	for v := int32(0); v < int32(n); v++ {
+		out[v] = g.VertexID(labels[v])
+	}
+	return out, nil
 }
 
 // lccGAS builds each vertex's neighborhood from the local arcs (gather),
@@ -480,28 +613,48 @@ func intersectSorted(a, b []int32, v int32) int {
 }
 
 // ssspGAS relaxes the out-arcs of frontier vertices with an atomic min on
-// the distance bits, synchronizing discoveries like bfsGAS.
+// the distance bits, synchronizing discoveries like bfsGAS. All working
+// state — distance bits, per-round claim stamps (replacing the seed's
+// clear-after-merge flags), per-thread relax outputs and per-machine
+// discovery lists — comes from the pooled scratch, so steady-state runs
+// allocate only the output array.
 func ssspGAS(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
 	g, cl := u.G, u.Cl
 	n := g.NumVertices()
-	bits := make([]uint64, n)
+	sc := acquireScratch(u)
+	defer u.scratch.Put(sc)
+	sc.bits = mplane.Grow(sc.bits, n)
+	bits := sc.bits
 	inf := math.Float64bits(math.Inf(1))
 	for i := range bits {
 		bits[i] = inf
 	}
 	bits[source] = math.Float64bits(0)
-	inNext := make([]atomic.Bool, n)
-	frontier := []int32{source}
+	sc.claimed = mplane.Grow(sc.claimed, n)
+	clear(sc.claimed)
+	claimed := sc.claimed
+	tc := cl.Threads()
+	if len(sc.parts) < tc {
+		sc.parts = make([][]int32, tc)
+	}
+	if len(sc.disc) != cl.Machines() {
+		sc.disc = make([][]int32, cl.Machines())
+	}
+	frontier := append(sc.front[:0], source)
+	stamp := uint32(0)
 	for len(frontier) > 0 {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
 		}
-		discovered := make([][]int32, cl.Machines())
+		stamp++
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			ma := u.local[mach]
-			parts := make([][]int32, th.Count())
+			parts := sc.parts
+			for w := range parts {
+				parts[w] = parts[w][:0]
+			}
 			th.ChunksIndexed(len(frontier), func(w, lo, hi int) {
-				var buf []int32
+				buf := parts[w][:0]
 				for _, v := range frontier[lo:hi] {
 					arcs, ws := ma.arcsOf(v)
 					dv := math.Float64frombits(atomic.LoadUint64(&bits[v]))
@@ -513,8 +666,15 @@ func ssspGAS(ctx context.Context, u *uploaded, source int32) ([]float64, error) 
 								break
 							}
 							if atomic.CompareAndSwapUint64(&bits[a.Dst], old, math.Float64bits(nd)) {
-								if inNext[a.Dst].CompareAndSwap(false, true) {
-									buf = append(buf, a.Dst)
+								for {
+									c := atomic.LoadUint32(&claimed[a.Dst])
+									if c == stamp {
+										break
+									}
+									if atomic.CompareAndSwapUint32(&claimed[a.Dst], c, stamp) {
+										buf = append(buf, a.Dst)
+										break
+									}
 								}
 								break
 							}
@@ -523,11 +683,13 @@ func ssspGAS(ctx context.Context, u *uploaded, source int32) ([]float64, error) 
 				}
 				parts[w] = buf
 			})
-			var merged []int32
-			for _, p := range parts {
+			// Per-machine merge copies out of the per-thread buffers, which
+			// the next (sequential) machine body reuses.
+			merged := sc.disc[mach][:0]
+			for _, p := range parts[:th.Count()] {
 				merged = append(merged, p...)
 			}
-			discovered[mach] = merged
+			sc.disc[mach] = merged
 			var wire int64
 			for _, d := range merged {
 				if int(u.part.Master[d]) != mach {
@@ -541,13 +703,11 @@ func ssspGAS(ctx context.Context, u *uploaded, source int32) ([]float64, error) 
 			return nil, err
 		}
 		frontier = frontier[:0]
-		for _, list := range discovered {
-			for _, d := range list {
-				inNext[d].Store(false)
-				frontier = append(frontier, d)
-			}
+		for _, list := range sc.disc {
+			frontier = append(frontier, list...)
 		}
 	}
+	sc.front = frontier
 	dist := make([]float64, n)
 	for i, b := range bits {
 		dist[i] = math.Float64frombits(b)

@@ -2,7 +2,6 @@ package native
 
 import (
 	"context"
-	"math"
 	"sync/atomic"
 
 	"graphalytics/internal/algorithms"
@@ -157,33 +156,94 @@ func wcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]int64, err
 	return out, nil
 }
 
+// nativeScratch is the pooled per-job working state of the CDLP and SSSP
+// kernels, hung off the upload so repeated Execute calls reuse it.
+type nativeScratch struct {
+	counts  mplane.LabelCounts
+	labels  []int32 // CDLP working labels (internal-index domain)
+	next    []int32
+	dirty   []uint32
+	changed []bool
+	sums    []float64 // per-worker weight partials for the Delta round
+	parts   [][]int32 // per-worker relax outputs
+	buckets algorithms.SSSPBuckets
+}
+
+func newNativeScratch() *nativeScratch { return &nativeScratch{} }
+
 // cdlp is the deterministic synchronous label propagation of the
-// specification, parallel over vertices. The simulated threads run their
-// chunks sequentially, so one job-lifetime dense histogram serves every
-// chunk of every iteration.
-func cdlp(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, iterations int) ([]int64, error) {
+// specification, frontier-based on the dense label domain: labels are
+// internal vertex indices (translated to external IDs once at the end —
+// the argmax is isomorphic, see mplane.LabelCounts), each round
+// recomputes only the vertices whose neighborhood changed last round and
+// stamps the next frontier from the changed set, stopping early at a
+// fixpoint — all bit-identical to the dense rounds (see
+// algorithms.CDLPFrontierRange). The simulated threads run their chunks
+// sequentially, so one job-lifetime counter serves every chunk of every
+// iteration.
+func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
+	g, cl := u.G, u.Cl
 	n := g.NumVertices()
-	labels := make([]int64, n)
-	next := make([]int64, n)
-	for v := int32(0); v < int32(n); v++ {
-		labels[v] = g.VertexID(v)
+	out := make([]int64, n)
+	if n == 0 {
+		return out, nil
 	}
-	hist := mplane.NewHistogram(16)
+	sc := mplane.Acquire(&u.scratch, newNativeScratch)
+	defer u.scratch.Put(sc)
+	sc.counts.EnsureDomain(n)
+	sc.labels = mplane.Grow(sc.labels, n)
+	sc.next = mplane.Grow(sc.next, n)
+	labels, next := sc.labels, sc.next
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = v
+	}
+	sc.dirty = mplane.Grow(sc.dirty, n)
+	clear(sc.dirty) // stale stamps from a previous job must not leak in
+	sc.changed = mplane.Grow(sc.changed, n)
+	dense := true // round zero treats every vertex as dirty
 	for it := 0; it < iterations; it++ {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
 		}
+		var d []uint32
+		if !dense {
+			d = sc.dirty
+		}
+		total := 0
+		scatter := false
 		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
 			th.Chunks(n, func(lo, hi int) {
-				algorithms.CDLPRangeHist(g, labels, next, lo, hi, hist)
+				if it == 0 {
+					// Identity labels admit a closed-form first round
+					// (see algorithms.CDLPInitRange).
+					total += algorithms.CDLPInitRange(g, next, sc.changed, lo, hi)
+				} else {
+					total += algorithms.CDLPFrontierRange(g, labels, next, lo, hi, &sc.counts, d, uint32(it), sc.changed)
+				}
 			})
+			// While the changed set is large its neighborhoods blanket the
+			// graph — skip the marking sweep and run the next round dense
+			// (over-marking is exact; see CDLPScatterWorthwhile).
+			scatter = total > 0 && algorithms.CDLPScatterWorthwhile(total, n) && it+1 < iterations
+			if scatter {
+				th.Chunks(n, func(lo, hi int) {
+					algorithms.CDLPScatterRange(g, sc.changed, sc.dirty, uint32(it+1), lo, hi)
+				})
+			}
 			return nil
 		}); err != nil {
 			return nil, err
 		}
 		labels, next = next, labels
+		if total == 0 {
+			break
+		}
+		dense = !scatter
 	}
-	return labels, nil
+	for v := 0; v < n; v++ {
+		out[v] = g.VertexID(labels[v])
+	}
+	return out, nil
 }
 
 // lcc computes local clustering coefficients with per-worker epoch-mark
@@ -210,65 +270,72 @@ func lcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]float64, e
 	return out, nil
 }
 
-// sssp runs a frontier-driven parallel Bellman-Ford: each round relaxes
-// the out-edges of vertices whose distance improved, using atomic
-// compare-and-swap on the distance bits. The fixpoint is the unique
-// shortest-path distance vector.
-func sssp(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, source int32) ([]float64, error) {
+// sssp runs delta-stepping, mirroring algorithms.ParSSSP under the
+// simulated thread pool: one charged round computes the bucket width
+// (mean edge weight), then each relax phase of the current bucket is one
+// charged round over the frontier via the shared SSSPRelaxRange step,
+// with the sequential bucket bookkeeping (algorithms.SSSPBuckets) between
+// rounds — the engine-side analog of the reference kernels' frontier
+// merges. All working state is pooled, so steady-state runs allocate only
+// the output array. The fixpoint is the unique shortest-path distance
+// vector (see the determinism argument in algorithms/sssp.go).
+func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
+	g, cl := u.G, u.Cl
 	n := g.NumVertices()
-	bits := make([]uint64, n)
-	inf := math.Float64bits(math.Inf(1))
-	for i := range bits {
-		bits[i] = inf
+	sc := mplane.Acquire(&u.scratch, newNativeScratch)
+	defer u.scratch.Put(sc)
+
+	arcs := int64(g.NumEdges())
+	if !g.Directed() {
+		arcs *= 2
 	}
-	bits[source] = math.Float64bits(0)
-	frontier := []int32{source}
-	inNext := make([]atomic.Bool, n)
-	for len(frontier) > 0 {
+	var delta float64
+	if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
+		sc.sums = mplane.Grow(sc.sums, th.Count())
+		th.ChunksIndexed(n, func(w, lo, hi int) {
+			sc.sums[w] = algorithms.SSSPWeightRange(g, lo, hi)
+		})
+		var total float64
+		for _, s := range sc.sums[:th.Count()] {
+			total += s
+		}
+		if arcs > 0 {
+			delta = total / float64(arcs)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	b := &sc.buckets
+	b.Init(g, source, delta)
+	tc := cl.Threads()
+	if len(sc.parts) < tc {
+		sc.parts = make([][]int32, tc)
+	}
+	for {
+		frontier, claimed, stamp := b.BeginPhase()
+		if len(frontier) == 0 {
+			if !b.Advance() {
+				break
+			}
+			continue
+		}
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
 		}
-		var nextParts [][]int32
+		for w := range sc.parts {
+			sc.parts[w] = sc.parts[w][:0]
+		}
 		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
-			nextParts = make([][]int32, th.Count())
 			th.ChunksIndexed(len(frontier), func(w, lo, hi int) {
-				var local []int32
-				for _, v := range frontier[lo:hi] {
-					dv := math.Float64frombits(atomic.LoadUint64(&bits[v]))
-					ws := g.OutWeights(v)
-					for i, u := range g.OutNeighbors(v) {
-						nd := dv + ws[i]
-						for {
-							old := atomic.LoadUint64(&bits[u])
-							if nd >= math.Float64frombits(old) {
-								break
-							}
-							if atomic.CompareAndSwapUint64(&bits[u], old, math.Float64bits(nd)) {
-								if inNext[u].CompareAndSwap(false, true) {
-									local = append(local, u)
-								}
-								break
-							}
-						}
-					}
-				}
-				nextParts[w] = local
+				sc.parts[w] = algorithms.SSSPRelaxRange(g, b.Bits, frontier[lo:hi], claimed, stamp, sc.parts[w][:0])
 			})
 			return nil
 		}); err != nil {
 			return nil, err
 		}
-		frontier = frontier[:0]
-		for _, l := range nextParts {
-			frontier = append(frontier, l...)
-		}
-		for _, v := range frontier {
-			inNext[v].Store(false)
-		}
+		b.Absorb(sc.parts[:tc])
 	}
-	dist := make([]float64, n)
-	for i, b := range bits {
-		dist[i] = math.Float64frombits(b)
-	}
-	return dist, nil
+	return b.Distances(nil), nil
 }

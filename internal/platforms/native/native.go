@@ -15,6 +15,7 @@ import (
 	"graphalytics/internal/cluster"
 	"graphalytics/internal/granula"
 	"graphalytics/internal/graph"
+	"graphalytics/internal/mplane"
 	"graphalytics/internal/platform"
 )
 
@@ -49,6 +50,11 @@ func (e *Engine) Supports(a algorithms.Algorithm) bool {
 type uploaded struct {
 	platform.BaseUpload
 	bytes int64
+	// scratch caches the kernels' per-job working buffers (delta-stepping
+	// bucket state, CDLP frontier stamps and histogram) across Execute
+	// calls on one upload, so steady-state runs allocate only their output
+	// arrays.
+	scratch mplane.Pool
 }
 
 func (u *uploaded) Free() {
@@ -103,7 +109,7 @@ func (e *Engine) Execute(ctx context.Context, up platform.Uploaded, a algorithms
 
 	cl.ResetTime()
 	t.Begin(granula.PhaseProcess)
-	out, err := e.run(ctx, g, cl, a, p)
+	out, err := e.run(ctx, u, a, p)
 	t.Annotate("threads", fmt.Sprint(cl.Threads()))
 	t.Current().Modeled = cl.SimulatedTime()
 	t.End()
@@ -118,7 +124,8 @@ func (e *Engine) Execute(ctx context.Context, up platform.Uploaded, a algorithms
 }
 
 // run dispatches to the algorithm kernels.
-func (e *Engine) run(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, a algorithms.Algorithm, p algorithms.Params) (*algorithms.Output, error) {
+func (e *Engine) run(ctx context.Context, u *uploaded, a algorithms.Algorithm, p algorithms.Params) (*algorithms.Output, error) {
+	g, cl := u.G, u.Cl
 	switch a {
 	case algorithms.BFS:
 		src, ok := g.Index(p.Source)
@@ -143,7 +150,7 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, a
 		}
 		return &algorithms.Output{Algorithm: a, Int: labels}, nil
 	case algorithms.CDLP:
-		labels, err := cdlp(ctx, g, cl, p.Iterations)
+		labels, err := cdlp(ctx, u, p.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +169,7 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, a
 		if !ok {
 			return nil, fmt.Errorf("native: %w: %d", algorithms.ErrSourceNotFound, p.Source)
 		}
-		dist, err := sssp(ctx, g, cl, src)
+		dist, err := sssp(ctx, u, src)
 		if err != nil {
 			return nil, err
 		}

@@ -162,23 +162,59 @@ func wccProgram(ctx context.Context, t *granula.Tracker, u *uploaded, combiners 
 	return labels, nil
 }
 
-// cdlpProgram: every superstep each vertex broadcasts its label to all
-// neighbors (both directions in directed graphs) and adopts the most
-// frequent incoming label, ties toward the smallest. Labels cannot be
-// combined, so the message volume is one label per edge per iteration —
-// the cost profile the paper observes for CDLP on message-passing
-// systems. The incoming multiset is counted by one job-lifetime dense
-// histogram (the simulated threads run their chunks sequentially).
+// cdlpScratch is the pooled per-job state of the frontier CDLP program:
+// the working labels, the previous superstep's label snapshot, and the
+// dense-domain fold counter.
+type cdlpScratch struct {
+	labels []int32
+	prev   []int32
+	counts mplane.LabelCounts
+}
+
+// cdlpProgram runs frontier-based label propagation: messages are change
+// notifications, not the full per-edge label shuffle. Superstep 0 seeds
+// every vertex's label to all neighbors (both directions in directed
+// graphs); from then on a vertex recomputes only when a neighbor's label
+// changed — any incoming message reactivates it — gathering the full
+// multiset from the prev-label snapshot (the local replica those
+// notifications keep in sync; published at each barrier via onBarrier)
+// and sending its own label onward only when it actually moved. Labels
+// cannot be combined, so superstep 0 still costs one message per edge,
+// but every later superstep's volume — and its wire bytes — shrinks to
+// the changed vertices' edges, and the job ends early once a superstep
+// changes nothing (no messages, all halted), which is bit-identical to
+// running out the iteration budget.
+//
+// The fold runs on the dense label domain: labels are internal vertex
+// indices counted by direct indexing (mplane.LabelCounts; the argmax is
+// isomorphic to the external-ID one — see that type) and translated once
+// at the end, while the 8-byte label messages keep their wire size. The
+// first fold (superstep 1) sees identity labels, so it uses the closed
+// form over the sorted adjacency instead of the counter
+// (algorithms.CDLPInitLabel). The multiset fold is unchanged from the
+// dense rounds: the argmax depends only on the multiset (the vertex's own
+// label only decides the empty case), so skipped vertices would have
+// recomputed exactly their current label.
 func cdlpProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iterations int) ([]int64, error) {
 	n := len(u.verts)
-	labels := make([]int64, n)
-	for v := 0; v < n; v++ {
-		labels[v] = u.G.VertexID(int32(v))
-	}
+	out := make([]int64, n)
 	r := newRunner[int64](u, fixedSize[int64](8), nil)
 	r.tracker = t
 	defer r.release()
-	hist := mplane.NewHistogram(16)
+	sc := mplane.Acquire(&u.scratch, func() *cdlpScratch {
+		return &cdlpScratch{}
+	})
+	defer u.scratch.Put(sc)
+	sc.counts.EnsureDomain(n)
+	sc.labels = mplane.Grow(sc.labels, n)
+	sc.prev = mplane.Grow(sc.prev, n)
+	labels, prev := sc.labels, sc.prev
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = v
+	}
+	copy(prev, labels[:n])
+	r.onBarrier = func(int) { copy(prev, labels[:n]) }
+	directed := u.G.Directed()
 	sendAll := func(w *worker[int64], v int32, label int64) {
 		for _, dst := range u.verts[v].out {
 			w.Send(dst, label)
@@ -188,23 +224,38 @@ func cdlpProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iteration
 		}
 	}
 	compute := func(w *worker[int64], v int32, msgs []int64, superstep int) {
-		if superstep > 0 {
-			hist.Reset()
-			for _, m := range msgs {
-				hist.Add(m)
+		switch {
+		case superstep == 0:
+			sendAll(w, v, int64(u.G.VertexID(v)))
+		case len(msgs) > 0 && superstep <= iterations:
+			var nl int32
+			if superstep == 1 {
+				nl = algorithms.CDLPInitLabel(v, u.verts[v].out, u.verts[v].in, directed)
+			} else {
+				for _, dst := range u.verts[v].out {
+					sc.counts.Add(prev[dst])
+				}
+				for _, dst := range u.verts[v].in {
+					sc.counts.Add(prev[dst])
+				}
+				nl = sc.counts.BestAndReset(prev[v])
 			}
-			labels[v] = hist.Best(labels[v])
-		}
-		if superstep < iterations {
-			sendAll(w, v, labels[v])
-			return
+			if nl != labels[v] {
+				labels[v] = nl
+				if superstep < iterations {
+					sendAll(w, v, int64(u.G.VertexID(nl)))
+				}
+			}
 		}
 		w.VoteToHalt(v)
 	}
 	if err := r.run(ctx, compute); err != nil {
 		return nil, err
 	}
-	return labels, nil
+	for v := int32(0); v < int32(n); v++ {
+		out[v] = u.G.VertexID(labels[v])
+	}
+	return out, nil
 }
 
 // lccProgram: superstep 0 sends every vertex's sorted out-adjacency to all

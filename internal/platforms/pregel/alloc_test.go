@@ -112,3 +112,29 @@ func TestPageRankSteadyStateAllocs(t *testing.T) {
 			"(per-superstep allocation has regressed)", allocs, budget)
 	}
 }
+
+// TestCDLPSteadyStateAllocs guards the frontier CDLP program: the
+// prev-label snapshot and histogram are pooled alongside the runner's
+// message plane, so after warm-up a whole run — change notifications,
+// barrier snapshot copies, early convergence — allocates only the label
+// array plus a constant number of superstep descriptors.
+func TestCDLPSteadyStateAllocs(t *testing.T) {
+	g := allocGraph(t, 4000, 4)
+	up, err := New().Upload(g, platform.RunConfig{Threads: 4, Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := up.(*uploaded)
+	defer u.Free()
+	run := func() {
+		if _, err := cdlpProgram(context.Background(), nil, u, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up: grows the message plane and the CDLP scratch
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs > 64 {
+		t.Fatalf("steady-state CDLP run allocated %.0f objects, want <= 64 "+
+			"(per-superstep allocation has regressed)", allocs)
+	}
+}

@@ -47,6 +47,13 @@ type runner[T any] struct {
 	wire      []int64        // per-destination-machine byte staging
 	agg       float64        // aggregated value from the previous superstep
 	aggNext   float64
+	// onBarrier, when set, runs once per superstep in the uncharged
+	// inter-superstep region — after message delivery has been swapped in,
+	// before the active lists are rebuilt. Programs that keep a replica
+	// array in sync with change-notification messages (frontier CDLP's
+	// prev-label snapshot) publish it here, the same place the harness
+	// already does its own uncharged bookkeeping.
+	onBarrier func(superstep int)
 }
 
 // worker is the per-thread compute context handed to vertex programs; it
@@ -114,6 +121,7 @@ func newRunner[T any](u *uploaded, msgSize func(T) int64, combine func(a, b T) T
 		}
 	}
 	r.agg, r.aggNext = 0, 0
+	r.onBarrier = nil
 	return r
 }
 
@@ -241,6 +249,9 @@ func (r *runner[T]) run(ctx context.Context, compute func(w *worker[T], v int32,
 			})
 		}
 		r.agg, r.aggNext = r.aggNext, 0
+		if r.onBarrier != nil {
+			r.onBarrier(superstep)
+		}
 		superstep++
 		total = 0
 		for m := range r.active {

@@ -230,76 +230,188 @@ func wcc(ctx context.Context, u *uploaded) ([]int64, int, error) {
 	return out, rounds, nil
 }
 
-// cdlp pulls neighbor labels into the job-lifetime dense histogram (the
-// simulated threads run sequentially, so one suffices).
+// ppScratch is the pooled per-job working state of the CDLP and SSSP
+// kernels, hung off the upload so repeated Execute calls reuse it.
+type ppScratch struct {
+	counts  mplane.LabelCounts
+	labels  []int32 // CDLP working labels (internal-index domain)
+	nextLab []int32
+	dirty   []bool // CDLP frontier mask: recompute v this round
+	changed []bool // CDLP: v's label moved this round
+	// SSSP (push-relaxation) state.
+	bits    []uint64  // tentative distances as float bits
+	claimed []uint32  // per-round discovery claim stamps
+	parts   [][]int32 // per-thread relax buffers
+	disc    [][]int32 // per-machine merged discoveries
+	local   []int32   // owned slice of the frontier
+	front   []int32   // the global frontier
+}
+
+func newPPScratch() *ppScratch {
+	return &ppScratch{}
+}
+
+// cdlp pulls neighbor labels into the job-lifetime dense counter (the
+// simulated threads run sequentially, so one suffices), frontier-masked
+// on the dense label domain: labels are internal vertex indices counted
+// by direct indexing (mplane.LabelCounts; the argmax is isomorphic to the
+// external-ID one — see that type) and translated once at the end. Round
+// zero uses the closed form over the sorted adjacency
+// (algorithms.CDLPInitLabel); later rounds recompute only vertices whose
+// neighborhood changed last round while everyone else copies their label
+// through — and while the changed set still blankets the graph the mask
+// rebuild is skipped and the next round runs dense
+// (algorithms.CDLPScatterWorthwhile; over-marking is exact). The mask is
+// rebuilt between rounds as uncharged harness bookkeeping, and the
+// allgather shrinks from a dense label slice to one sparse (id, label)
+// update per changed vertex. The argmax depends only on the gathered
+// multiset (a vertex's own label only breaks the empty case), so the
+// masked rounds — and stopping early at a fixpoint — are bit-identical
+// to the dense schedule.
 func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 	st, cl, part := u.st, u.Cl, u.part
 	n := st.n
-	hist := mplane.Acquire(&u.scratch, func() *mplane.Histogram { return mplane.NewHistogram(16) })
-	defer u.scratch.Put(hist)
-	labels := make([]int64, n)
-	next := make([]int64, n)
-	for v := int32(0); v < int32(n); v++ {
-		labels[v] = u.G.VertexID(v)
+	out := make([]int64, n)
+	if n == 0 {
+		return out, nil
 	}
+	sc := mplane.Acquire(&u.scratch, newPPScratch)
+	defer u.scratch.Put(sc)
+	sc.counts.EnsureDomain(n)
+	sc.labels = mplane.Grow(sc.labels, n)
+	sc.nextLab = mplane.Grow(sc.nextLab, n)
+	labels, next := sc.labels, sc.nextLab
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = v
+	}
+	sc.dirty = mplane.Grow(sc.dirty, n)
+	sc.changed = mplane.Grow(sc.changed, n)
+	dirty, changed := sc.dirty, sc.changed
+	dense := true // round zero treats every vertex as dirty
 	for it := 0; it < iterations; it++ {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
 		}
+		first := it == 0
+		total := 0
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			verts := part.Verts[mach]
+			updates := 0
 			th.Chunks(len(verts), func(lo, hi int) {
 				for _, v := range verts[lo:hi] {
-					hist.Reset()
-					for _, in := range st.in(v) {
-						hist.Add(labels[in])
+					if !dense && !dirty[v] {
+						next[v] = labels[v]
+						changed[v] = false
+						continue
 					}
-					if st.directed {
-						for _, out := range st.out(v) {
-							hist.Add(labels[out])
+					var nl int32
+					if first {
+						nl = algorithms.CDLPInitLabel(v, st.in(v), st.out(v), st.directed)
+					} else {
+						for _, in := range st.in(v) {
+							sc.counts.Add(labels[in])
 						}
+						if st.directed {
+							for _, o := range st.out(v) {
+								sc.counts.Add(labels[o])
+							}
+						}
+						nl = sc.counts.BestAndReset(labels[v])
 					}
-					next[v] = hist.Best(labels[v])
+					next[v] = nl
+					if nl != labels[v] {
+						changed[v] = true
+						updates++
+					} else {
+						changed[v] = false
+					}
 				}
 			})
-			cl.Broadcast(mach, int64(len(verts))*8)
+			total += updates
+			// Sparse allgather: vertex id + label per changed vertex.
+			cl.Broadcast(mach, int64(updates)*12)
 			return nil
 		}); err != nil {
 			return nil, err
 		}
 		labels, next = next, labels
+		if total == 0 {
+			break
+		}
+		dense = !algorithms.CDLPScatterWorthwhile(total, n)
+		if !dense && it+1 < iterations {
+			// Rebuild the dirty mask from the changed set: v's multiset
+			// reads in(v) (+out(v) directed), so a changed u reaches
+			// exactly out(u) (+in(u) directed). Uncharged bookkeeping,
+			// like the pregel engine's active-list rebuild.
+			clear(dirty)
+			for v := int32(0); v < int32(n); v++ {
+				if !changed[v] {
+					continue
+				}
+				for _, d := range st.out(v) {
+					dirty[d] = true
+				}
+				if st.directed {
+					for _, d := range st.in(v) {
+						dirty[d] = true
+					}
+				}
+			}
+		}
 	}
-	return labels, nil
+	for v := int32(0); v < int32(n); v++ {
+		out[v] = u.G.VertexID(labels[v])
+	}
+	return out, nil
 }
 
-// sssp pushes relaxations from the frontier with atomic minimums.
+// sssp pushes relaxations from the frontier with atomic minimums. All
+// per-round buffers come from the upload's scratch pool, so steady-state
+// runs allocate only the output vector; the per-round discovery dedup
+// uses claim stamps (the stamp changes every round, so the claim array is
+// cleared once per job rather than re-zeroed between rounds).
 func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, int, error) {
 	st, cl, part := u.st, u.Cl, u.part
 	n := st.n
-	bits := make([]uint64, n)
+	sc := mplane.Acquire(&u.scratch, newPPScratch)
+	defer u.scratch.Put(sc)
+	sc.bits = mplane.Grow(sc.bits, n)
+	bits := sc.bits
 	inf := math.Float64bits(math.Inf(1))
 	for i := range bits {
 		bits[i] = inf
 	}
 	bits[source] = math.Float64bits(0)
-	inNext := make([]atomic.Bool, n)
-	frontier := []int32{source}
+	sc.claimed = mplane.Grow(sc.claimed, n)
+	clear(sc.claimed)
+	claimed := sc.claimed
+	if len(sc.disc) != cl.Machines() {
+		sc.disc = make([][]int32, cl.Machines())
+	}
+	frontier := append(sc.front[:0], source)
 	rounds := 0
-	for len(frontier) > 0 {
+	for stamp := uint32(1); len(frontier) > 0; stamp++ {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, 0, err
 		}
-		discovered := make([][]int32, cl.Machines())
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
-			var local []int32
+			local := sc.local[:0]
 			for _, v := range frontier {
 				if int(part.Owner[v]) == mach {
 					local = append(local, v)
 				}
 			}
-			parts := make([][]int32, th.Count())
+			sc.local = local
+			tc := th.Count()
+			if len(sc.parts) < tc {
+				sc.parts = make([][]int32, tc)
+			}
+			for w := 0; w < tc; w++ {
+				sc.parts[w] = sc.parts[w][:0]
+			}
 			th.ChunksIndexed(len(local), func(w, lo, hi int) {
-				var buf []int32
+				buf := sc.parts[w]
 				for _, v := range local[lo:hi] {
 					dv := math.Float64frombits(atomic.LoadUint64(&bits[v]))
 					ws := st.outWeights(v)
@@ -311,35 +423,40 @@ func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, int, error
 								break
 							}
 							if atomic.CompareAndSwapUint64(&bits[dst], old, math.Float64bits(nd)) {
-								if inNext[dst].CompareAndSwap(false, true) {
-									buf = append(buf, dst)
+								for {
+									c := atomic.LoadUint32(&claimed[dst])
+									if c == stamp {
+										break
+									}
+									if atomic.CompareAndSwapUint32(&claimed[dst], c, stamp) {
+										buf = append(buf, dst)
+										break
+									}
 								}
 								break
 							}
 						}
 					}
 				}
-				parts[w] = buf
+				sc.parts[w] = buf
 			})
-			var merged []int32
-			for _, p := range parts {
+			merged := sc.disc[mach][:0]
+			for _, p := range sc.parts[:tc] {
 				merged = append(merged, p...)
 			}
-			discovered[mach] = merged
+			sc.disc[mach] = merged
 			cl.Broadcast(mach, int64(len(merged))*16)
 			return nil
 		}); err != nil {
 			return nil, 0, err
 		}
 		frontier = frontier[:0]
-		for _, list := range discovered {
-			for _, d := range list {
-				inNext[d].Store(false)
-				frontier = append(frontier, d)
-			}
+		for _, list := range sc.disc {
+			frontier = append(frontier, list...)
 		}
 		rounds++
 	}
+	sc.front = frontier
 	dist := make([]float64, n)
 	for i, b := range bits {
 		dist[i] = math.Float64frombits(b)

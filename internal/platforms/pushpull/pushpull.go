@@ -87,7 +87,7 @@ type uploaded struct {
 	part          *cluster.VertexPartition
 	danglingVerts []int32
 	bytes         []int64
-	// scratch caches the CDLP label histogram between Execute calls.
+	// scratch caches the CDLP/SSSP working buffers between Execute calls.
 	scratch mplane.Pool
 }
 

@@ -219,49 +219,143 @@ func wcc(ctx context.Context, u *uploaded) ([]int64, error) {
 	return out, nil
 }
 
-// cdlp runs the deterministic label-propagation iterations as column
-// gathers with a dense histogram reduce; the histogram is job-lifetime
-// scratch (simulated threads run sequentially, so one suffices).
+// spmvScratch is the pooled per-job working state of the CDLP and SSSP
+// kernels, hung off the upload so repeated Execute calls reuse it.
+type spmvScratch struct {
+	counts  mplane.LabelCounts
+	labels  []int32 // CDLP working labels (internal-index domain)
+	nextLab []int32
+	dirty   []bool // CDLP frontier mask: recompute v this round
+	changed []bool // CDLP: v's label moved this round
+	// SSSP (sparse Bellman-Ford) state.
+	bits    []uint64  // tentative distances as float bits
+	claimed []uint32  // per-round discovery claim stamps
+	parts   [][]int32 // per-thread relax buffers
+	disc    [][]int32 // per-machine merged discoveries
+	fronts  [][]int32 // per-machine frontiers
+	routing []int64   // per-destination-machine byte staging
+}
+
+func newSpmvScratch() *spmvScratch {
+	return &spmvScratch{}
+}
+
+// cdlp runs the deterministic label-propagation iterations as frontier-
+// masked column gathers on the dense label domain: labels are internal
+// vertex indices counted by direct indexing (mplane.LabelCounts; the
+// argmax is isomorphic to the external-ID one — see that type) and
+// translated once at the end. Round zero uses the closed form over the
+// sorted columns (algorithms.CDLPInitLabel); later rounds recompute only
+// vertices whose neighborhood changed last round (the dirty mask, rebuilt
+// between rounds as uncharged harness bookkeeping) while everyone else
+// copies their label through — and while the changed set still blankets
+// the graph the mask rebuild is skipped and the next round runs dense
+// (algorithms.CDLPScatterWorthwhile; over-marking is exact). The argmax
+// depends only on the multiset, so a skipped vertex would have recomputed
+// exactly its current label and the masked rounds are bit-identical to
+// the dense ones, as is stopping early once a round changes nothing. The
+// allgather shrinks with the frontier: instead of each machine
+// re-broadcasting its dense label slice, it ships one sparse (id, label)
+// update per changed vertex.
 func cdlp(ctx context.Context, u *uploaded, iterations int) ([]int64, error) {
 	m, cl, part := u.m, u.Cl, u.part
 	n := m.n
-	hist := mplane.Acquire(&u.scratch, func() *mplane.Histogram { return mplane.NewHistogram(16) })
-	defer u.scratch.Put(hist)
-	labels := make([]int64, n)
-	next := make([]int64, n)
-	for v := int32(0); v < int32(n); v++ {
-		labels[v] = u.G.VertexID(v)
+	out := make([]int64, n)
+	if n == 0 {
+		return out, nil
 	}
+	sc := mplane.Acquire(&u.scratch, newSpmvScratch)
+	defer u.scratch.Put(sc)
+	sc.counts.EnsureDomain(n)
+	sc.labels = mplane.Grow(sc.labels, n)
+	sc.nextLab = mplane.Grow(sc.nextLab, n)
+	labels, next := sc.labels, sc.nextLab
+	for v := int32(0); v < int32(n); v++ {
+		labels[v] = v
+	}
+	sc.dirty = mplane.Grow(sc.dirty, n)
+	sc.changed = mplane.Grow(sc.changed, n)
+	dirty, changed := sc.dirty, sc.changed
+	dense := true // round zero treats every vertex as dirty
 	for it := 0; it < iterations; it++ {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
 		}
+		first := it == 0
+		total := 0
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			verts := part.Verts[mach]
+			updates := 0
 			th.Chunks(len(verts), func(lo, hi int) {
 				for _, v := range verts[lo:hi] {
-					hist.Reset()
-					// Column gather (in-neighbors); undirected graphs have
-					// a symmetric matrix so this is the whole neighborhood.
-					for _, uix := range m.col(v) {
-						hist.Add(labels[uix])
+					if !dense && !dirty[v] {
+						next[v] = labels[v]
+						changed[v] = false
+						continue
 					}
-					if m.directed {
-						for _, uix := range m.row(v) {
-							hist.Add(labels[uix])
+					var nl int32
+					if first {
+						nl = algorithms.CDLPInitLabel(v, m.col(v), m.row(v), m.directed)
+					} else {
+						// Column gather (in-neighbors); undirected graphs
+						// have a symmetric matrix so this is the whole
+						// neighborhood.
+						for _, uix := range m.col(v) {
+							sc.counts.Add(labels[uix])
 						}
+						if m.directed {
+							for _, uix := range m.row(v) {
+								sc.counts.Add(labels[uix])
+							}
+						}
+						nl = sc.counts.BestAndReset(labels[v])
 					}
-					next[v] = hist.Best(labels[v])
+					next[v] = nl
+					if nl != labels[v] {
+						changed[v] = true
+						updates++
+					} else {
+						changed[v] = false
+					}
 				}
 			})
-			cl.Broadcast(mach, int64(len(verts))*8)
+			total += updates
+			// Sparse allgather: vertex id + label per changed vertex.
+			cl.Broadcast(mach, int64(updates)*12)
 			return nil
 		}); err != nil {
 			return nil, err
 		}
 		labels, next = next, labels
+		if total == 0 {
+			break
+		}
+		dense = !algorithms.CDLPScatterWorthwhile(total, n)
+		if !dense && it+1 < iterations {
+			// Rebuild the dirty mask from the changed set: v's multiset
+			// reads col(v) (+row(v) directed), so a changed u reaches
+			// exactly row(u) (+col(u) directed). Uncharged bookkeeping,
+			// like the pregel engine's active-list rebuild.
+			clear(dirty)
+			for v := int32(0); v < int32(n); v++ {
+				if !changed[v] {
+					continue
+				}
+				for _, d := range m.row(v) {
+					dirty[d] = true
+				}
+				if m.directed {
+					for _, d := range m.col(v) {
+						dirty[d] = true
+					}
+				}
+			}
+		}
 	}
-	return labels, nil
+	for v := int32(0); v < int32(n); v++ {
+		out[v] = u.G.VertexID(labels[v])
+	}
+	return out, nil
 }
 
 // lcc counts triangles as masked sparse row intersections: for vertex v
@@ -369,30 +463,51 @@ func intersectCount(a, b []int32, v int32) int {
 }
 
 // sssp is a sparse Bellman-Ford SpMSpV over the (min, +) semiring with
-// frontier routing identical to bfs.
+// frontier routing identical to bfs. All per-round buffers come from the
+// upload's scratch pool, so steady-state runs allocate only the output
+// vector; the per-round discovery dedup uses claim stamps (the stamp
+// changes every round, so the claim array is cleared once per job rather
+// than re-zeroed between rounds).
 func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
 	m, cl, part := u.m, u.Cl, u.part
 	n := m.n
-	bits := make([]uint64, n)
+	sc := mplane.Acquire(&u.scratch, newSpmvScratch)
+	defer u.scratch.Put(sc)
+	sc.bits = mplane.Grow(sc.bits, n)
+	bits := sc.bits
 	inf := math.Float64bits(math.Inf(1))
 	for i := range bits {
 		bits[i] = inf
 	}
 	bits[source] = math.Float64bits(0)
-	inNext := make([]atomic.Bool, n)
-	frontiers := make([][]int32, cl.Machines())
-	frontiers[part.Owner[source]] = []int32{source}
+	sc.claimed = mplane.Grow(sc.claimed, n)
+	clear(sc.claimed)
+	claimed := sc.claimed
+	if len(sc.fronts) != cl.Machines() {
+		sc.fronts = make([][]int32, cl.Machines())
+		sc.disc = make([][]int32, cl.Machines())
+	}
+	for mach := range sc.fronts {
+		sc.fronts[mach] = sc.fronts[mach][:0]
+	}
+	sc.fronts[part.Owner[source]] = append(sc.fronts[part.Owner[source]], source)
+	sc.routing = mplane.Grow(sc.routing, cl.Machines())
 	total := 1
-	for total > 0 {
+	for stamp := uint32(1); total > 0; stamp++ {
 		if err := platform.CheckContext(ctx); err != nil {
 			return nil, err
 		}
-		discovered := make([][]int32, cl.Machines())
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
-			local := frontiers[mach]
-			parts := make([][]int32, th.Count())
+			local := sc.fronts[mach]
+			tc := th.Count()
+			if len(sc.parts) < tc {
+				sc.parts = make([][]int32, tc)
+			}
+			for w := 0; w < tc; w++ {
+				sc.parts[w] = sc.parts[w][:0]
+			}
 			th.ChunksIndexed(len(local), func(w, lo, hi int) {
-				var buf []int32
+				buf := sc.parts[w]
 				for _, v := range local[lo:hi] {
 					dv := math.Float64frombits(atomic.LoadUint64(&bits[v]))
 					ws := m.rowWeights(v)
@@ -404,22 +519,32 @@ func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
 								break
 							}
 							if atomic.CompareAndSwapUint64(&bits[dst], old, math.Float64bits(nd)) {
-								if inNext[dst].CompareAndSwap(false, true) {
-									buf = append(buf, dst)
+								for {
+									c := atomic.LoadUint32(&claimed[dst])
+									if c == stamp {
+										break
+									}
+									if atomic.CompareAndSwapUint32(&claimed[dst], c, stamp) {
+										buf = append(buf, dst)
+										break
+									}
 								}
 								break
 							}
 						}
 					}
 				}
-				parts[w] = buf
+				sc.parts[w] = buf
 			})
-			var merged []int32
-			for _, p := range parts {
+			merged := sc.disc[mach][:0]
+			for _, p := range sc.parts[:tc] {
 				merged = append(merged, p...)
 			}
-			discovered[mach] = merged
-			out := make([]int64, cl.Machines())
+			sc.disc[mach] = merged
+			out := sc.routing[:cl.Machines()]
+			for i := range out {
+				out[i] = 0
+			}
 			for _, d := range merged {
 				if o := part.Owner[d]; int(o) != mach {
 					out[o] += 16 // vertex id + distance
@@ -432,14 +557,13 @@ func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
 		}); err != nil {
 			return nil, err
 		}
-		for mach := range frontiers {
-			frontiers[mach] = frontiers[mach][:0]
+		for mach := range sc.fronts {
+			sc.fronts[mach] = sc.fronts[mach][:0]
 		}
 		total = 0
-		for _, list := range discovered {
+		for _, list := range sc.disc {
 			for _, d := range list {
-				inNext[d].Store(false)
-				frontiers[part.Owner[d]] = append(frontiers[part.Owner[d]], d)
+				sc.fronts[part.Owner[d]] = append(sc.fronts[part.Owner[d]], d)
 				total++
 			}
 		}

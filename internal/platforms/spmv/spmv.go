@@ -80,7 +80,7 @@ type uploaded struct {
 	m     *matrix
 	part  *cluster.VertexPartition
 	bytes []int64 // per-machine registered bytes
-	// scratch caches the CDLP label histogram between Execute calls.
+	// scratch caches the CDLP/SSSP working buffers between Execute calls.
 	scratch mplane.Pool
 }
 

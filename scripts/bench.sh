@@ -9,14 +9,16 @@
 #   benchstat old.txt new.txt
 # compares two snapshots; the "results" field carries the same data
 # parsed for scripting. Environment overrides:
-#   BENCH      benchmark regexp        (default BenchmarkEngineExecute|BenchmarkPlanSharedUpload)
+#   BENCH      benchmark regexp        (default BenchmarkEngineExecute|BenchmarkPlanSharedUpload|BenchmarkRefKernelSSSP|BenchmarkRefKernelCDLP)
 #   BENCHTIME  go test -benchtime      (default 3x)
 #   COUNT      go test -count          (default 1; raise for benchstat CIs)
 #   OUT        output file             (default BENCH_<date>.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH=${BENCH:-'BenchmarkEngineExecute|BenchmarkPlanSharedUpload'}
+# The RefKernel sweeps cover the delta-stepping SSSP and frontier CDLP
+# worker scaling alongside the engine Execute and plan-pipeline suites.
+BENCH=${BENCH:-'BenchmarkEngineExecute|BenchmarkPlanSharedUpload|BenchmarkRefKernelSSSP|BenchmarkRefKernelCDLP'}
 BENCHTIME=${BENCHTIME:-3x}
 COUNT=${COUNT:-1}
 OUT=${OUT:-BENCH_$(date +%F).json}
