@@ -1,0 +1,68 @@
+// Command graphalint runs the repository's contract-enforcing static
+// analysis suite (internal/lint) over the given package patterns and exits
+// nonzero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/graphalint [-json] [-C dir] [patterns ...]
+//
+// Patterns default to ./... . Diagnostics print as file:line:col:
+// analyzer: message; -json emits a machine-readable array. Exit status is
+// 0 when clean, 1 on findings, 2 on load or usage errors.
+//
+// The analyzers and the contract-to-package mapping are documented in
+// DESIGN.md ("Enforced invariants"); audited waivers use
+// //graphalint:<kind> <reason> comments.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"graphalytics/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	dir := flag.String("C", ".", "run as if launched from this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: graphalint [-json] [-C dir] [patterns ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphalint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.All(), lint.DefaultContracts)
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // a clean tree is [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "graphalint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "graphalint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

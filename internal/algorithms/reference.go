@@ -59,6 +59,7 @@ func RefPageRank(g *graph.Graph, iterations int, damping float64) []float64 {
 	}
 	for it := 0; it < iterations; it++ {
 		var dangling float64
+		//graphalint:orderfree sequential mirror of par.SumBlocked: fixed SumBlock boundaries, partials added in block order
 		for blo := 0; blo < n; blo += par.SumBlock {
 			bhi := min(blo+par.SumBlock, n)
 			var d float64
@@ -70,6 +71,7 @@ func RefPageRank(g *graph.Graph, iterations int, damping float64) []float64 {
 			dangling += d
 		}
 		base := (1-damping)*inv + damping*dangling*inv
+		//graphalint:orderfree per-vertex fold follows CSR in-neighbor order, fixed by the snapshot
 		for v := int32(0); v < int32(n); v++ {
 			sum := 0.0
 			for _, u := range g.InNeighbors(v) {

@@ -105,6 +105,8 @@ func SSSPDelta(g *graph.Graph, workers int) float64 {
 // SSSPWeightRange sums the out-edge weights of vertices in [lo, hi),
 // left to right — the per-chunk body engines use to compute the Delta
 // reduction under their own (charged) thread pools.
+//
+//graphalint:orderfree block partial: left-to-right fold over a fixed [lo, hi) chunk in CSR order, summed by callers in chunk order
 func SSSPWeightRange(g *graph.Graph, lo, hi int) float64 {
 	s := 0.0
 	for v := lo; v < hi; v++ {

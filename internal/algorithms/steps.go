@@ -44,6 +44,9 @@ func BFSExpand(g *graph.Graph, depth []int64, frontier []int32, level int64) []i
 // (zero for dangling vertices) and returns the range's dangling rank mass,
 // accumulated left to right — the block partial of the fixed reduction
 // tree the PageRank kernels sum dangling mass with.
+//
+//graphalint:noalloc per-chunk superstep body: writes only into caller-owned arrays
+//graphalint:orderfree block partial: left-to-right fold within one fixed [lo, hi) block, summed by callers in block order
 func PRContribRange(g *graph.Graph, rank, contrib []float64, lo, hi int) float64 {
 	var dangling float64
 	for v := lo; v < hi; v++ {
@@ -60,6 +63,9 @@ func PRContribRange(g *graph.Graph, rank, contrib []float64, lo, hi int) float64
 // PRPullRange computes next[v] = base + damping * sum of contrib over v's
 // in-neighbors for v in [lo, hi). The per-vertex sum follows in-neighbor
 // order, so the result does not depend on how vertices are chunked.
+//
+//graphalint:noalloc per-chunk superstep body: writes only into caller-owned arrays
+//graphalint:orderfree per-vertex fold follows CSR in-neighbor order, independent of chunking
 func PRPullRange(g *graph.Graph, contrib, next []float64, base, damping float64, lo, hi int) {
 	for v := lo; v < hi; v++ {
 		sum := 0.0
@@ -83,6 +89,8 @@ func CDLPRange(g *graph.Graph, labels, next []int64, lo, hi int) {
 // CDLPRangeHist is CDLPRange counting into a caller-owned histogram. The
 // histogram's (highest count, smallest label) argmax is order-independent,
 // so the result is identical to the map-based fold it replaced.
+//
+//graphalint:noalloc per-chunk superstep body: counts into the caller-owned histogram
 func CDLPRangeHist(g *graph.Graph, labels, next []int64, lo, hi int, h *mplane.Histogram) {
 	for v := lo; v < hi; v++ {
 		h.Reset()
@@ -116,6 +124,8 @@ func CDLPRangeHist(g *graph.Graph, labels, next []int64, lo, hi int, h *mplane.H
 // depends only on the multiset whenever the multiset is non-empty (the
 // vertex's own label only breaks the empty case, and then it is unchanged
 // too), so recomputing would reproduce labels[v] bit for bit.
+//
+//graphalint:noalloc per-chunk superstep body: counts into the caller-owned dense counter
 func CDLPFrontierRange(g *graph.Graph, labels, next []int32, lo, hi int, c *mplane.LabelCounts, dirty []uint32, stamp uint32, changed []bool) int {
 	cnt := 0
 	directed := g.Directed()
@@ -147,6 +157,8 @@ func CDLPFrontierRange(g *graph.Graph, labels, next []int32, lo, hi int, c *mpla
 // hit of a sorted merge) or, failing that, the smaller of the two list
 // heads. next[v] receives the winner (or v when isolated), changed[v]
 // whether it moved, and the return value counts the changed vertices.
+//
+//graphalint:noalloc per-chunk superstep body: the closed form never touches a counter
 func CDLPInitRange(g *graph.Graph, next []int32, changed []bool, lo, hi int) int {
 	cnt := 0
 	directed := g.Directed()
@@ -171,6 +183,8 @@ func CDLPInitRange(g *graph.Graph, next []int32, changed []bool, lo, hi int) int
 // usable by engines over their own (sorted, duplicate-free) adjacency
 // layouts: fwd is the vertex's neighbor list (undirected graphs pass only
 // this), rev the opposite direction for directed graphs.
+//
+//graphalint:noalloc
 func CDLPInitLabel(v int32, fwd, rev []int32, directed bool) int32 {
 	if !directed {
 		if len(fwd) > 0 {
@@ -203,6 +217,8 @@ func CDLPInitLabel(v int32, fwd, rev []int32, directed bool) int32 {
 // whose round structure walks their own vertex lists rather than index
 // ranges. c must be an all-zero counter sized for the domain; it is left
 // all-zero again on return.
+//
+//graphalint:noalloc
 func CDLPFoldVertex(g *graph.Graph, labels []int32, v int32, c *mplane.LabelCounts) int32 {
 	return cdlpFold(g, labels, v, g.Directed(), c)
 }
@@ -211,6 +227,8 @@ func CDLPFoldVertex(g *graph.Graph, labels []int32, v int32, c *mplane.LabelCoun
 // Degree-0/1/2 neighborhoods — the bulk of many real graphs — resolve
 // without touching the counter: a single label wins outright, and two
 // labels tie toward the smaller exactly as the argmax would.
+//
+//graphalint:noalloc
 func cdlpFold(g *graph.Graph, labels []int32, v int32, directed bool, c *mplane.LabelCounts) int32 {
 	out := g.OutNeighbors(v)
 	if !directed {
@@ -263,6 +281,8 @@ func cdlpFold(g *graph.Graph, labels []int32, v int32, directed bool, c *mplane.
 // turns the common already-marked case (shared neighbors of hubs) into a
 // read instead of a contended write. Stamps make clearing unnecessary: a
 // slot is dirty only if it holds exactly this round's stamp.
+//
+//graphalint:noalloc per-chunk superstep body: atomic stamp stores only
 func CDLPScatterRange(g *graph.Graph, changed []bool, dirty []uint32, stamp uint32, lo, hi int) {
 	for v := lo; v < hi; v++ {
 		if !changed[v] {
@@ -306,6 +326,8 @@ func CDLPScatterWorthwhile(changedCount, n int) bool {
 // improves mid-scan may relax with a stale (larger) value; that is just a
 // weaker relaxation, and the improver has re-claimed the vertex for the
 // next phase, so the fixpoint is unaffected.
+//
+//graphalint:noalloc appends extend the caller's pooled out buffer in place
 func SSSPRelaxRange(g *graph.Graph, dist []uint64, frontier []int32, claimed []uint32, stamp uint32, out []int32) []int32 {
 	for _, v := range frontier {
 		dv := math.Float64frombits(atomic.LoadUint64(&dist[v]))

@@ -1,0 +1,19 @@
+package cluster
+
+import "time"
+
+// now is the package's clock seam. All simulated-cost measurement reads it
+// instead of calling time.Now directly (enforced by graphalint's wallclock
+// analyzer), so tests can substitute a deterministic clock and replay a
+// round schedule bit-for-bit. Swapped only from tests, before any cluster
+// activity; production code never reassigns it.
+var now func() time.Time = time.Now
+
+// SetClockForTesting installs a replacement clock and returns a restore
+// function. It exists for deterministic-time tests; calling it while a
+// round is executing is a race.
+func SetClockForTesting(clock func() time.Time) (restore func()) {
+	prev := now
+	now = clock
+	return func() { now = prev }
+}

@@ -218,11 +218,11 @@ func (c *Cluster) RunRound(fn func(machine int, th *Threads) error) error {
 	th := &Threads{}
 	for m := 0; m < c.cfg.Machines; m++ {
 		*th = Threads{count: c.cfg.Threads}
-		start := time.Now()
+		start := now()
 		if err := fn(m, th); err != nil {
 			return fmt.Errorf("cluster: machine %d: %w", m, err)
 		}
-		d := time.Since(start) - th.discount
+		d := now().Sub(start) - th.discount
 		if d < 0 {
 			d = 0
 		}
@@ -259,9 +259,9 @@ func (c *Cluster) RunRound(fn func(machine int, th *Threads) error) error {
 // processing time, where the equivalent per-machine delivery work of an
 // append-based inbox would have been.
 func (c *Cluster) RunBarrier(fn func()) {
-	start := time.Now()
+	start := now()
 	fn()
-	d := time.Since(start)
+	d := now().Sub(start)
 	c.mu.Lock()
 	c.simTime += d
 	c.mu.Unlock()

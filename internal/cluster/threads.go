@@ -59,9 +59,9 @@ func (t *Threads) ChunksIndexed(n int, fn func(worker, lo, hi int)) {
 	var seqTotal, maxChunk time.Duration
 	for w := 0; w < threads; w++ {
 		lo, hi := par.ChunkRange(n, threads, w)
-		start := time.Now()
+		start := now()
 		fn(w, lo, hi)
-		d := time.Since(start)
+		d := now().Sub(start)
 		seqTotal += d
 		if d > maxChunk {
 			maxChunk = d

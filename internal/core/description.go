@@ -157,6 +157,7 @@ func RunDescription(r *Runner, d *Description) ([]JobResult, error) {
 	results := make([]JobResult, 0, len(jobs))
 	var sinkErrs []error
 	for _, spec := range jobs {
+		//graphalint:ctxbg deprecated ctx-less legacy path: RunDescription via Session.Compile is the ctx-first route
 		res, err := s.RunJob(context.Background(), spec)
 		if err != nil {
 			if !errors.Is(err, ErrSink) {

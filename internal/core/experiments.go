@@ -48,6 +48,7 @@ type ExperimentConfig struct {
 
 func orBackground(ctx context.Context) context.Context {
 	if ctx == nil {
+		//graphalint:ctxbg nil-ctx guard for deprecated ctx-less entry points; ctx-first callers never hit it
 		return context.Background()
 	}
 	return ctx
@@ -733,6 +734,7 @@ func (s *Session) MakespanBreakdown(ctx context.Context, cfg ExperimentConfig) (
 //
 // Deprecated: use Session.DatasetVariety.
 func DatasetVariety(r *Runner, platforms []string, threads int) (*Report, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().DatasetVariety(context.Background(), ExperimentConfig{Platforms: platforms, Threads: threads})
 }
 
@@ -740,6 +742,7 @@ func DatasetVariety(r *Runner, platforms []string, threads int) (*Report, error)
 //
 // Deprecated: use Session.AlgorithmVariety.
 func AlgorithmVariety(r *Runner, platforms []string, threads int) (*Report, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().AlgorithmVariety(context.Background(), ExperimentConfig{Platforms: platforms, Threads: threads})
 }
 
@@ -747,6 +750,7 @@ func AlgorithmVariety(r *Runner, platforms []string, threads int) (*Report, erro
 //
 // Deprecated: use Session.VerticalScalability.
 func VerticalScalability(r *Runner, platforms []string, threadSweep []int) (*Report, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().VerticalScalability(context.Background(), ExperimentConfig{Platforms: platforms, ThreadSweep: threadSweep})
 }
 
@@ -754,6 +758,7 @@ func VerticalScalability(r *Runner, platforms []string, threadSweep []int) (*Rep
 //
 // Deprecated: use Session.StrongScaling.
 func StrongScaling(r *Runner, platforms []string, machineSweep []int, threads int) (*Report, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().StrongScaling(context.Background(), ExperimentConfig{Platforms: platforms, MachineSweep: machineSweep, Threads: threads})
 }
 
@@ -761,6 +766,7 @@ func StrongScaling(r *Runner, platforms []string, machineSweep []int, threads in
 //
 // Deprecated: use Session.WeakScaling.
 func WeakScaling(r *Runner, platforms []string, pairs []WeakPair, threads int) (*Report, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().WeakScaling(context.Background(), ExperimentConfig{Platforms: platforms, WeakPairs: pairs, Threads: threads})
 }
 
@@ -768,6 +774,7 @@ func WeakScaling(r *Runner, platforms []string, pairs []WeakPair, threads int) (
 //
 // Deprecated: use Session.StressTest.
 func StressTest(r *Runner, platforms []string, threads int, memoryBudget int64) (*Report, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().StressTest(context.Background(), ExperimentConfig{Platforms: platforms, Threads: threads, MemoryBudget: memoryBudget})
 }
 
@@ -775,6 +782,7 @@ func StressTest(r *Runner, platforms []string, threads int, memoryBudget int64) 
 //
 // Deprecated: use Session.Variability.
 func Variability(r *Runner, singleMachine, distributed []string, n, threads int) (*Report, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().Variability(context.Background(), ExperimentConfig{
 		SingleMachine: singleMachine, Distributed: distributed, Repetitions: n, Threads: threads,
 	})
@@ -784,5 +792,6 @@ func Variability(r *Runner, singleMachine, distributed []string, n, threads int)
 //
 // Deprecated: use Session.MakespanBreakdown.
 func MakespanBreakdown(r *Runner, platforms []string, threads int) (*Report, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().MakespanBreakdown(context.Background(), ExperimentConfig{Platforms: platforms, Threads: threads})
 }

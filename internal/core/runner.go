@@ -68,6 +68,7 @@ func (r *Runner) Session(opts ...Option) *Session {
 //
 // Deprecated: use Session.RunJob, which takes a context.
 func (r *Runner) RunJob(spec JobSpec) (JobResult, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().RunJob(context.Background(), spec)
 }
 
@@ -75,5 +76,6 @@ func (r *Runner) RunJob(spec JobSpec) (JobResult, error) {
 //
 // Deprecated: use Session.RunRepeated, which takes a context.
 func (r *Runner) RunRepeated(spec JobSpec, n int) ([]JobResult, error) {
+	//graphalint:ctxbg deprecated ctx-less shim: documented to run under a background root
 	return r.Session().RunRepeated(context.Background(), spec, n)
 }

@@ -353,6 +353,7 @@ func classifyUpload(callerErr, err error, uploadTime, sla time.Duration) (Status
 // caller, not here, so the handle outlives this job for the group.
 func (s *Session) execute(ctx context.Context, spec JobSpec, pos batchPos, lease *uploadLease) (res JobResult, err error) {
 	if ctx == nil {
+		//graphalint:ctxbg nil-ctx guard for deprecated ctx-less entry points; ctx-first callers never hit it
 		ctx = context.Background()
 	}
 	s.emit(Event{Type: EventJobStarted, Spec: spec, Index: pos.index, Total: pos.total})

@@ -19,6 +19,7 @@ func (g *Graph) OutDegreeStats() DegreeStats {
 	}
 	st := DegreeStats{Min: math.MaxInt}
 	var sum, sumSq float64
+	//graphalint:orderfree sequential single pass in vertex index order; degree stats are never chunked
 	for v := int32(0); v < int32(n); v++ {
 		d := g.OutDegree(v)
 		if d < st.Min {

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum flags cross-iteration floating-point accumulation (`+=` / `-=`
+// into a variable that outlives the loop) in determinism-contract
+// packages. Floating-point addition does not reassociate, so any sum whose
+// association order can vary with the worker count — per-chunk partials,
+// chunk-geometry-dependent ranges, map-ordered folds — breaks the
+// bit-identical contract. par.SumBlocked (fixed reduction tree) and an
+// ordered fold over par.Accumulate's chunk-indexed results are the
+// sanctioned replacements.
+//
+// Folds whose order is fixed independently of the worker count (a
+// sequential pass over CSR adjacency, the fixed-block interior of
+// SumBlocked itself) are sound but not machine-provable; they carry
+// `//graphalint:orderfree <reason>` on the statement, the enclosing loop,
+// or the enclosing function as the audited proof.
+var FloatSum = &Analyzer{
+	Name:   "floatsum",
+	Doc:    "flags cross-iteration float accumulation in determinism-contract packages",
+	Marker: MarkerOrderFree,
+	Run:    runFloatSum,
+}
+
+func runFloatSum(p *Pass) {
+	if !p.Contracts.Determinism {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 {
+				return
+			}
+			if as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN {
+				return
+			}
+			if !isFloat(p.TypeOf(as.Lhs[0])) {
+				return
+			}
+			loop := innermostLoop(stack)
+			if loop == nil {
+				return // not in a loop: no cross-iteration accumulation
+			}
+			if declaredWithin(p, as.Lhs[0], loopBody(loop)) {
+				return // per-iteration local, reset every pass
+			}
+			// A waiver may sit on the statement, any enclosing loop, or
+			// the enclosing function declaration.
+			for i := len(stack) - 1; i >= 0; i-- {
+				if (isLoop(stack[i]) || isFuncNode(stack[i])) && p.Marked(stack[i]) {
+					return
+				}
+			}
+			p.Report(as, "float accumulation %s %s across loop iterations: association order must not depend on the worker count; use par.SumBlocked or an ordered fold over par.Accumulate, or waive with //graphalint:orderfree <reason>",
+				types.ExprString(as.Lhs[0]), as.Tok)
+		})
+	}
+}
+
+// declaredWithin reports whether the storage e accumulates into is declared
+// inside block (and so cannot carry a value across iterations of the loop
+// whose body block is).
+func declaredWithin(p *Pass, e ast.Expr, block *ast.BlockStmt) bool {
+	if block == nil {
+		return false
+	}
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := p.objectFor(root)
+	if obj == nil {
+		return false
+	}
+	return block.Pos() <= obj.Pos() && obj.Pos() < block.End()
+}
+
+// innermostLoop returns the deepest for/range statement on the stack.
+func innermostLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if isLoop(stack[i]) {
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden-file harness: each testdata/src/<analyzer> package seeds
+// deliberate violations, marked in the source with trailing
+//
+//	// want `regexp`
+//
+// comments. The named analyzer must report a matching diagnostic on
+// exactly that line, and nothing anywhere else.
+
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+// stdExports compiles (or pulls from the build cache) the export data of
+// every stdlib package the testdata files import.
+func stdExports(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		exportsMap, exportsErr = StdExports(".", "context", "sort", "time")
+	})
+	if exportsErr != nil {
+		t.Fatalf("loading stdlib export data: %v", exportsErr)
+	}
+	return exportsMap
+}
+
+// expectation is one `// want` comment: a diagnostic that must be
+// reported at file:line and match re.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// collectWants scans the package sources for `// want` comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+			}
+			wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no // want comments under %s", dir)
+	}
+	return wants
+}
+
+// checkDiagnostics matches reported diagnostics against expectations:
+// every want must be hit exactly once, and no diagnostic may be
+// unexpected.
+func checkDiagnostics(t *testing.T, wants []*expectation, diags []Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		s := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		hit := false
+		for _, w := range wants {
+			if w.matched || !sameFile(w.file, d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(s) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	return filepath.Base(a) == filepath.Base(b)
+}
+
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// runGolden type-checks testdata/src/<name> and runs the analyzer of the
+// same name over it with every contract forced on.
+func runGolden(t *testing.T, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := CheckDir(dir, stdExports(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allOn := func(string) Contracts {
+		return Contracts{Determinism: true, SimTime: true, Internal: true}
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, name)}, allOn)
+	checkDiagnostics(t, collectWants(t, dir), diags)
+}
+
+func TestMapIterGolden(t *testing.T)   { runGolden(t, "mapiter") }
+func TestFloatSumGolden(t *testing.T)  { runGolden(t, "floatsum") }
+func TestWallClockGolden(t *testing.T) { runGolden(t, "wallclock") }
+func TestNoAllocGolden(t *testing.T)   { runGolden(t, "noalloc") }
+func TestCtxFirstGolden(t *testing.T)  { runGolden(t, "ctxfirst") }
+
+// TestMarkerValidation checks that malformed directives are findings.
+// The expected lines are located by content so the fixture can move.
+func TestMarkerValidation(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "marker")
+	pkg, err := CheckDir(dir, stdExports(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "marker.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	typoLine, bareLine := 0, 0
+	for i, line := range strings.Split(string(src), "\n") {
+		switch strings.TrimSpace(line) {
+		case "//graphalint:orderfree":
+			bareLine = i + 1
+		default:
+			if strings.HasPrefix(strings.TrimSpace(line), "//graphalint:ordrfree") {
+				typoLine = i + 1
+			}
+		}
+	}
+	if typoLine == 0 || bareLine == 0 {
+		t.Fatalf("fixture lines not found (typo=%d bare=%d)", typoLine, bareLine)
+	}
+
+	diags := markerDiagnostics(pkg)
+	if len(diags) != 2 {
+		t.Fatalf("got %d marker diagnostics, want 2: %v", len(diags), diags)
+	}
+	byLine := map[int]Diagnostic{}
+	for _, d := range diags {
+		byLine[d.Pos.Line] = d
+	}
+	if d, ok := byLine[typoLine]; !ok || !strings.Contains(d.Message, "unknown graphalint directive") {
+		t.Errorf("line %d: want unknown-directive finding, got %v", typoLine, d)
+	}
+	if d, ok := byLine[bareLine]; !ok || !strings.Contains(d.Message, "requires a one-line justification") {
+		t.Errorf("line %d: want missing-reason finding, got %v", bareLine, d)
+	}
+}
+
+// TestRepoClean runs the full suite over the whole module with the
+// production contract mapping — the same invocation as
+// `go run ./cmd/graphalint ./...` — and demands a clean tree.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, All(), DefaultContracts)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

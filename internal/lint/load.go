@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Markers indexes every //graphalint:<kind> comment by file name and
+	// line, the audit trail the analyzers consult before reporting.
+	Markers map[string]map[int]*Marker
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// goList streams `go list -e -deps -export -json patterns...` run in dir.
+// -deps pulls in every dependency's compiled export data, which is how the
+// type checker resolves imports without any third-party loader.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export files `go list -export`
+// reported, special-casing unsafe. It implements types.Importer on top of
+// the stdlib gc importer.
+type exportImporter struct {
+	base types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{base: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return imp.base.Import(path)
+}
+
+// Load lists patterns with the go tool (run in dir), parses every non-test
+// Go file of each matched package, and type-checks them against the export
+// data of their dependencies. Test files and testdata directories are
+// excluded by the go tool itself.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var broken []string
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Error != nil {
+			broken = append(broken, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+		}
+	}
+	if len(broken) > 0 {
+		return nil, fmt.Errorf("go list reported broken packages:\n  %s", strings.Join(broken, "\n  "))
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := check(fset, imp, p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// CheckDir parses and type-checks every .go file directly inside dir as a
+// single package whose imports resolve through exports (an import path →
+// export file map, see StdExports). The golden-file harness uses it to load
+// testdata packages that the go tool deliberately ignores.
+func CheckDir(dir string, exports map[string]string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	return check(fset, imp, filepath.Base(dir), dir, files)
+}
+
+// StdExports returns the import path → export data file map for the given
+// stdlib packages and their dependencies, compiled on demand by the go tool.
+func StdExports(dir string, stdPkgs ...string) (map[string]string, error) {
+	listed, err := goList(dir, stdPkgs)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Markers:    make(map[string]map[int]*Marker),
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Markers[fset.Position(f.Pos()).Filename] = collectMarkers(fset, f)
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` over a map in determinism-contract packages. Map
+// iteration order is randomized per run, so any loop whose effect depends
+// on visit order silently breaks the bit-identical-at-any-worker-count
+// contract. Three shapes are provably order-insensitive and pass without a
+// waiver:
+//
+//   - key collection that is later sorted: `ks = append(ks, k)` followed,
+//     in the same function, by a slices/sort/par.SortInt64s call on ks;
+//   - a commutative integer accumulate into an indexed slot:
+//     `counts[...]++` or `counts[...] += v` (also |=, &=, ^=, *=);
+//   - a write to a distinct slot per key: `dst[k] = v` where k is the
+//     range key and v does not read dst;
+//   - a keyless `for range m` body, whose iterations are indistinguishable.
+//
+// Anything else needs `//graphalint:orderfree <reason>` on the loop.
+var MapIter = &Analyzer{
+	Name:   "mapiter",
+	Doc:    "flags order-sensitive iteration over maps in determinism-contract packages",
+	Marker: MarkerOrderFree,
+	Run:    runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	if !p.Contracts.Determinism {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(p.TypeOf(rs.X)) {
+				return
+			}
+			if orderInsensitive(p, rs, stack) {
+				return
+			}
+			p.Report(rs, "range over map %s: iteration order is randomized; sort the keys first, fold into an indexed slot, or waive with //graphalint:orderfree <reason>",
+				types.ExprString(rs.X))
+		})
+	}
+}
+
+// orderInsensitive recognizes the loop bodies whose result provably does
+// not depend on map iteration order.
+func orderInsensitive(p *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if rs.Key == nil {
+		// for range m { ... }: no iteration identity, order irrelevant.
+		return true
+	}
+	if len(rs.Body.List) == 0 {
+		return true
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	switch s := rs.Body.List[0].(type) {
+	case *ast.IncDecStmt:
+		// counts[expr]++ — commutative integer accumulate.
+		if ix, ok := ast.Unparen(s.X).(*ast.IndexExpr); ok && isInteger(p.TypeOf(ix)) {
+			return true
+		}
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(p, rs, s, stack)
+	}
+	return false
+}
+
+func orderInsensitiveAssign(p *Pass, rs *ast.RangeStmt, s *ast.AssignStmt, stack []ast.Node) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := ast.Unparen(s.Lhs[0]), ast.Unparen(s.Rhs[0])
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN, token.MUL_ASSIGN:
+		// slot[expr] += v — commutative and associative only over integers;
+		// float += reassociates, which floatsum exists to catch.
+		ix, ok := lhs.(*ast.IndexExpr)
+		return ok && isInteger(p.TypeOf(ix))
+	case token.ASSIGN, token.DEFINE:
+		// dst[k] = v where k is the range key: each iteration writes a
+		// distinct slot, so order cannot matter unless v reads dst.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && s.Tok == token.ASSIGN {
+			key, isKey := ast.Unparen(rs.Key).(*ast.Ident)
+			idx, isIdx := ast.Unparen(ix.Index).(*ast.Ident)
+			if isKey && isIdx && p.objectFor(key) != nil && p.objectFor(key) == p.objectFor(idx) {
+				dst := rootIdent(ix.X)
+				if dst != nil && !mentionsObject(p, rhs, p.objectFor(dst)) {
+					return true
+				}
+			}
+		}
+		// ks = append(ks, k): key collection, provided ks is sorted later
+		// in the same function before it can be consumed in map order.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(p, call.Fun, "append") && len(call.Args) == 2 {
+			dst, okDst := lhs.(*ast.Ident)
+			src := rootIdent(call.Args[0])
+			if okDst && src != nil && p.objectFor(dst) != nil && p.objectFor(dst) == p.objectFor(src) {
+				if appendsRangeVar(p, rs, call.Args[1]) {
+					return sortedLater(p, enclosingFuncBody(stack), rs.End(), p.objectFor(dst))
+				}
+			}
+		}
+	}
+	return false
+}
+
+// appendsRangeVar reports whether e is exactly the loop's key or value
+// variable — the collected elements then form a set that sorting
+// canonicalizes.
+func appendsRangeVar(p *Pass, rs *ast.RangeStmt, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || p.objectFor(id) == nil {
+		return false
+	}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if vid, ok := ast.Unparen(v).(*ast.Ident); ok && p.objectFor(vid) == p.objectFor(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedLater reports whether slice is passed to a sorting function after
+// pos within body.
+func sortedLater(p *Pass, body *ast.BlockStmt, pos token.Pos, slice types.Object) bool {
+	if body == nil || slice == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos || len(call.Args) == 0 {
+			return true
+		}
+		if !isSortCall(calleeOf(p.Pkg.Info, call)) {
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil && p.objectFor(root) == slice {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes the sorting entry points used in this repository.
+func isSortCall(obj types.Object) bool {
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "slices":
+		return strings.HasPrefix(f.Name(), "Sort")
+	case "sort":
+		return true
+	case module + "/internal/par":
+		return f.Name() == "SortInt64s"
+	}
+	return false
+}
+
+// mentionsObject reports whether obj is referenced anywhere inside e.
+func mentionsObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return true // unresolvable: be conservative
+	}
+	seen := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.objectFor(id) == obj {
+			seen = true
+			return false
+		}
+		return !seen
+	})
+	return seen
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc checks every function annotated `//graphalint:noalloc` — the
+// steady-state hot paths whose budgets the AllocsPerRun tests guard — for
+// constructs that introduce per-call heap allocation:
+//
+//   - composite literals and make() inside a loop body (fresh storage
+//     every iteration instead of pooled scratch);
+//   - map literals anywhere (maps always allocate);
+//   - append whose result is not reassigned to the slice it extends
+//     (a non-reused slice defeats amortized pooled growth);
+//   - string concatenation (builds a fresh string);
+//   - function literals capturing locals (captured variables escape);
+//   - concrete values boxed into interface-typed slots in assignments,
+//     call arguments (including variadic ...interface{}), and returns.
+//
+// Cold paths inside an annotated function (error exits, first-call growth)
+// carry `//graphalint:alloc <reason>` on the offending line. The analyzer
+// is opt-in by annotation, so it runs regardless of package contracts.
+var NoAlloc = &Analyzer{
+	Name:   "noalloc",
+	Doc:    "checks //graphalint:noalloc functions for allocation-introducing constructs",
+	Marker: MarkerAlloc,
+	Run:    runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoAllocAnnotation(fd) {
+				continue
+			}
+			checkNoAllocFunc(p, fd)
+		}
+	}
+}
+
+// hasNoAllocAnnotation reports whether the function's doc comment carries
+// the //graphalint:noalloc directive.
+func hasNoAllocAnnotation(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, markerPrefix+MarkerNoAlloc) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoAllocFunc(p *Pass, fd *ast.FuncDecl) {
+	// funcs tracks nested function literals so return statements check
+	// against the right result signature.
+	type funcFrame struct {
+		node ast.Node
+		sig  *types.Signature
+	}
+	sig, _ := p.TypeOf(fd.Name).(*types.Signature)
+	if sig == nil {
+		if obj := p.objectFor(fd.Name); obj != nil {
+			sig, _ = obj.Type().(*types.Signature)
+		}
+	}
+	frames := []funcFrame{{node: fd, sig: sig}}
+	loopDepth := 0
+
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		// Maintain depth counters from the stack rather than push/pop
+		// callbacks: recount is O(depth) and runs only per visited node.
+		loopDepth = 0
+		frames = frames[:1]
+		for _, s := range stack {
+			if isLoop(s) {
+				loopDepth++
+			}
+			if fl, ok := s.(*ast.FuncLit); ok {
+				fsig, _ := p.TypeOf(fl).(*types.Signature)
+				frames = append(frames, funcFrame{node: fl, sig: fsig})
+			}
+		}
+
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if isMapType(p.TypeOf(n)) {
+				p.Report(n, "map literal allocates; use a pooled dense structure (mplane.Histogram, indexed slices)")
+			} else if loopDepth > 0 && !insideCompositeLit(stack) {
+				p.Report(n, "composite literal in a loop body allocates each iteration; hoist it or reuse pooled scratch")
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(p, n, stack, loopDepth)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(p.TypeOf(n.Lhs[0])) {
+				p.Report(n, "string concatenation allocates; format once outside the hot path")
+			}
+			if n.Tok == token.ASSIGN {
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) && boxed(p, p.TypeOf(lhs), n.Rhs[i]) {
+						p.Report(n.Rhs[i], "concrete value boxed into interface on assignment; keep hot-path values monomorphic")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p.TypeOf(n)) && !isConstant(p, n) {
+				p.Report(n, "string concatenation allocates; format once outside the hot path")
+			}
+		case *ast.FuncLit:
+			for _, name := range capturedLocals(p, n, fd) {
+				p.Report(n, "closure captures %s: captured variables escape to the heap; pass state as parameters or use a pooled struct", name)
+			}
+		case *ast.ReturnStmt:
+			fsig := frames[len(frames)-1].sig
+			if fsig == nil || fsig.Results() == nil || len(n.Results) != fsig.Results().Len() {
+				return
+			}
+			for i, res := range n.Results {
+				if boxed(p, fsig.Results().At(i).Type(), res) {
+					p.Report(res, "returned value boxed into interface; return the concrete type from the hot path")
+				}
+			}
+		}
+	})
+}
+
+// checkNoAllocCall handles make, append discipline, variadic interface
+// packing and per-argument interface boxing.
+func checkNoAllocCall(p *Pass, call *ast.CallExpr, stack []ast.Node, loopDepth int) {
+	if isBuiltin(p, call.Fun, "make") {
+		if loopDepth > 0 {
+			p.Report(call, "make in a loop body allocates each iteration; hoist it or reuse pooled scratch")
+		}
+		return
+	}
+	if isBuiltin(p, call.Fun, "append") {
+		if len(call.Args) == 0 {
+			return
+		}
+		base := types.ExprString(sliceBase(call.Args[0]))
+		if as, ok := parentAssign(stack, call); ok && len(as.Lhs) == 1 {
+			if types.ExprString(ast.Unparen(as.Lhs[0])) == base {
+				return // s = append(s, ...) / s = append(s[:0], ...): pooled reuse
+			}
+		}
+		p.Report(call, "append to a non-reused slice: reassign the result to the buffer it extends (s = append(s[:0], ...)) so pooled capacity is reused")
+		return
+	}
+
+	// Conversions: T(x) where T is an interface boxes x.
+	if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxed(p, tv.Type, call.Args[0]) {
+			p.Report(call, "conversion boxes a concrete value into an interface")
+		}
+		return
+	}
+
+	sig, _ := p.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var target types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding an existing slice: no packing here
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			target = slice.Elem()
+		case i < params.Len():
+			target = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxed(p, target, arg) {
+			p.Report(arg, "argument boxed into interface parameter; variadic interface calls also allocate the backing slice")
+		}
+	}
+}
+
+// boxed reports whether assigning e to a slot of type target heap-boxes a
+// concrete value: target is an interface, e's type is concrete and not
+// pointer-shaped (pointers, maps, channels and funcs fit in the interface
+// word without allocating).
+func boxed(p *Pass, target types.Type, e ast.Expr) bool {
+	if target == nil {
+		return false
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// capturedLocals returns the names of variables the function literal
+// captures from its enclosing function (not package-level state).
+func capturedLocals(p *Pass, fl *ast.FuncLit, encl *ast.FuncDecl) []string {
+	pkgScope := p.Pkg.Types.Scope()
+	seen := make(map[types.Object]bool)
+	var names []string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		if obj.Parent() == pkgScope || obj.Parent() == types.Universe {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// this literal.
+		if obj.Pos() >= fl.Pos() && obj.Pos() < fl.End() {
+			return true
+		}
+		if obj.Pos() < encl.Pos() || obj.Pos() >= encl.End() {
+			return true
+		}
+		seen[obj] = true
+		names = append(names, obj.Name())
+		return true
+	})
+	return names
+}
+
+// insideCompositeLit reports whether the direct parent is itself a
+// composite literal, so nested literals report once at the outermost one.
+func insideCompositeLit(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	_, ok := stack[len(stack)-1].(*ast.CompositeLit)
+	return ok
+}
+
+// parentAssign returns the assignment whose sole RHS is call, if any.
+func parentAssign(stack []ast.Node, call *ast.CallExpr) (*ast.AssignStmt, bool) {
+	if len(stack) == 0 {
+		return nil, false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != call {
+		return nil, false
+	}
+	return as, true
+}
+
+// sliceBase strips slicing (s[:0], s[a:b]) to the reused buffer expression.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		se, ok := ast.Unparen(e).(*ast.SliceExpr)
+		if !ok {
+			return ast.Unparen(e)
+		}
+		e = se.X
+	}
+}
+
+// isConstant reports whether e folded to a compile-time constant.
+func isConstant(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,42 @@
+// Package ctxfirst seeds violations and non-violations of the ctxfirst
+// analyzer.
+package ctxfirst
+
+import "context"
+
+// Run buries the context behind another parameter.
+func Run(name string, ctx context.Context) error { // want `ctxfirst: Run: context.Context must be the first parameter`
+	_ = name
+	return ctx.Err()
+}
+
+// Good threads the context first.
+func Good(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// helper is unexported: the position rule covers only the package's API.
+func helper(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Mint fabricates a root context inside library code.
+func Mint() context.Context {
+	return context.Background() // want `ctxfirst: context.Background in internal library code`
+}
+
+// Todo is no better.
+func Todo() context.Context {
+	return context.TODO() // want `ctxfirst: context.TODO in internal library code`
+}
+
+// Root is the audited process root.
+func Root() context.Context {
+	//graphalint:ctxbg test fixture: this package plays the process root
+	return context.Background()
+}
+
+// use keeps the unexported helper referenced.
+var use = helper

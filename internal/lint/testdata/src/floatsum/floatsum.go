@@ -1,0 +1,59 @@
+// Package floatsum seeds violations and non-violations of the floatsum
+// analyzer.
+package floatsum
+
+// Total accumulates a float across loop iterations: the association
+// order would follow the chunk geometry.
+func Total(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x // want `floatsum: float accumulation sum`
+	}
+	return sum
+}
+
+// Residual subtracts across iterations — same hazard as addition.
+func Residual(xs []float64, r float64) float64 {
+	for _, x := range xs {
+		r -= x // want `floatsum: float accumulation r`
+	}
+	return r
+}
+
+// Count accumulates integers: exact, commutative, always safe.
+func Count(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Shift adds once, outside any loop: a single association.
+func Shift(x, y float64) float64 {
+	x += y
+	return x
+}
+
+// BlockSum is the fixed-block interior of a SumBlocked-style reduction
+// tree: sound because the caller sums blocks in block order, which only
+// the function-level waiver can assert.
+//
+//graphalint:orderfree fixed [lo, hi) block interior, summed by the caller in block order
+func BlockSum(xs []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// Dot carries the waiver on the loop itself.
+func Dot(a, b []float64) float64 {
+	var s float64
+	//graphalint:orderfree sequential pass in index order, never chunked
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+// Package mapiter seeds violations and non-violations of the mapiter
+// analyzer. Lines carrying a `// want` comment must be reported; every
+// other line must stay silent.
+package mapiter
+
+import "sort"
+
+// Mass folds map values in iteration order: float addition does not
+// reassociate, so the result depends on the randomized visit order.
+func Mass(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `mapiter: range over map m: iteration order is randomized`
+		total = total + v
+	}
+	return total
+}
+
+// First returns whichever key the runtime happens to yield first.
+func First(m map[int]int) int {
+	for k := range m { // want `mapiter: range over map m`
+		return k
+	}
+	return -1
+}
+
+// Count uses a keyless range: iterations are indistinguishable, so the
+// order cannot matter.
+func Count(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Tally accumulates into indexed integer slots — commutative and exact.
+func Tally(m map[int]int, counts []int) {
+	for _, v := range m {
+		counts[v]++
+	}
+}
+
+// Invert writes one distinct slot per key: no two iterations touch the
+// same storage.
+func Invert(m map[int]int, dst []int) {
+	for k, v := range m {
+		dst[k] = v
+	}
+}
+
+// Keys collects the key set and canonicalizes it with a sort before any
+// consumer can observe map order.
+func Keys(m map[int64]bool) []int64 {
+	var ks []int64
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Max carries an audited waiver: max over values is order-independent,
+// but the analyzer cannot prove it.
+func Max(m map[string]int) int {
+	best := 0
+	//graphalint:orderfree max over the value set is order-independent
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,13 @@
+// Package marker seeds invalid graphalint directives: the framework
+// reports them instead of letting a typo silently disable an analyzer.
+package marker
+
+// Typod carries an unknown directive kind.
+//
+//graphalint:ordrfree the kind is misspelled, so this is a finding
+func Typod() {}
+
+// Bare carries a suppression with no justification.
+//
+//graphalint:orderfree
+func Bare() {}

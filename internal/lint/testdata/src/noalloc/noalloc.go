@@ -1,0 +1,91 @@
+// Package noalloc seeds violations and non-violations of the noalloc
+// analyzer. Only functions annotated //graphalint:noalloc are checked.
+package noalloc
+
+type point struct{ x, y int }
+
+// Hot is annotated as a steady-state zero-allocation path; the loop body
+// commits most of the allocation sins the analyzer knows.
+//
+//graphalint:noalloc
+func Hot(vals []int, dst []int) []int {
+	total := ""
+	for i, v := range vals {
+		tmp := make([]int, 1) // want `noalloc: make in a loop body allocates each iteration`
+		tmp[0] = v
+		pt := point{x: i, y: v} // want `noalloc: composite literal in a loop body allocates each iteration`
+		dst = append(dst, pt.x+tmp[0])
+		spill := append(dst, v) // want `noalloc: append to a non-reused slice`
+		_ = spill
+		total += "x" // want `noalloc: string concatenation allocates`
+	}
+	_ = total
+	return dst
+}
+
+// Index builds a map: maps always allocate, loop or not.
+//
+//graphalint:noalloc
+func Index(keys []string) int {
+	seen := map[string]int{} // want `noalloc: map literal allocates`
+	return len(seen) + len(keys)
+}
+
+// Each builds a closure over a local: the captured variable escapes.
+//
+//graphalint:noalloc
+func Each(vals []int, f func(int)) {
+	acc := 0
+	visit := func(v int) { acc += v } // want `noalloc: closure captures acc`
+	for _, v := range vals {
+		visit(v)
+		f(v)
+	}
+	_ = acc
+}
+
+// Value boxes its result into the interface return slot.
+//
+//graphalint:noalloc
+func Value(v int) any {
+	return v // want `noalloc: returned value boxed into interface`
+}
+
+// Convert boxes through an explicit conversion.
+//
+//graphalint:noalloc
+func Convert(v int) any {
+	x := any(v) // want `noalloc: conversion boxes a concrete value into an interface`
+	return x
+}
+
+// Print packs its argument into a variadic interface parameter.
+//
+//graphalint:noalloc
+func Print(v int, log func(...any)) {
+	log(v) // want `noalloc: argument boxed into interface parameter`
+}
+
+// ColdStart keeps its annotation but waives the one-time setup
+// allocation with an audited reason.
+//
+//graphalint:noalloc
+func ColdStart(n int) map[int]int {
+	//graphalint:alloc job-setup path: runs once per upload, not per round
+	idx := map[int]int{}
+	for i := 0; i < n; i++ {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Cold is not annotated: the analyzer ignores it entirely.
+func Cold(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, "x")
+		m := map[int]int{i: i}
+		_ = m
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package wallclock seeds violations and non-violations of the
+// wallclock analyzer.
+package wallclock
+
+import "time"
+
+// Cost reads the host clock directly: under a test clock the simulated
+// cost would still move with wall time.
+func Cost() time.Duration {
+	start := time.Now()      // want `wallclock: raw time.Now call in simulated-cost code`
+	return time.Since(start) // want `wallclock: raw time.Since call in simulated-cost code`
+}
+
+// Deadline computes a remaining budget from the host clock.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `wallclock: raw time.Until call in simulated-cost code`
+}
+
+// now is the injected seam: referencing time.Now as a value installs the
+// default clock without calling it, which is exactly how the seam is
+// built.
+var now func() time.Time = time.Now
+
+// Seam reads through the injected clock; the call goes to a variable,
+// not to the time package.
+func Seam() time.Time { return now() }
+
+// Stamp is outside simulated cost and carries the audited waiver.
+func Stamp() time.Time {
+	//graphalint:wallclock report metadata timestamp, not simulated cost
+	return time.Now()
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walkWithStack traverses root pre-order, calling visit(n, stack) where
+// stack is the path of enclosing nodes from root down to n's parent.
+func walkWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// objectFor resolves an identifier to its object, whether the identifier
+// uses or defines it.
+func (p *Pass) objectFor(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// isBuiltin reports whether fun names the given predeclared builtin.
+func isBuiltin(p *Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.objectFor(id).(*types.Builtin)
+	return ok
+}
+
+// isFuncNode reports whether n declares a function body.
+func isFuncNode(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.FuncDecl, *ast.FuncLit:
+		return true
+	}
+	return false
+}
+
+// enclosingFuncBody returns the body of the innermost function on stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

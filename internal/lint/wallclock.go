@@ -1,0 +1,39 @@
+package lint
+
+import "go/ast"
+
+// WallClock forbids raw wall-clock reads — time.Now, time.Since,
+// time.Until calls — in simulated-cost code. The cluster's rounds, the
+// thread-pool discount, and the granula model must read their injected
+// clock seam (a `now func() time.Time` field or package seam defaulting to
+// time.Now) so tests and replays can substitute deterministic time.
+// Referencing `time.Now` as a value to *install* it in a seam is allowed;
+// only calls are findings. The service and CLI layers are outside the
+// contract and keep using the wall clock freely.
+var WallClock = &Analyzer{
+	Name:   "wallclock",
+	Doc:    "forbids raw time.Now/Since/Until calls in simulated-cost packages",
+	Marker: MarkerWallClock,
+	Run:    runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	if !p.Contracts.SimTime {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(p.Pkg.Info, call)
+			for _, name := range [...]string{"Now", "Since", "Until"} {
+				if isPkgFunc(obj, "time", name) {
+					p.Report(call, "raw time.%s call in simulated-cost code: read the injected clock seam so simulated time stays deterministic under test clocks; waive with //graphalint:wallclock <reason>", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -42,6 +42,8 @@ func NewHistogram(hint int) *Histogram {
 }
 
 // Reset discards all counts in O(1).
+//
+//graphalint:noalloc
 func (h *Histogram) Reset() {
 	h.touched = h.touched[:0]
 	h.cur++
@@ -57,6 +59,8 @@ func (h *Histogram) slot(key int64) uint32 {
 }
 
 // Add counts one occurrence of key.
+//
+//graphalint:noalloc steady state: the table doubles only until it fits the densest neighborhood, then every Add is probe-and-bump
 func (h *Histogram) Add(key int64) {
 	for i := h.slot(key); ; i = (i + 1) & h.mask {
 		if h.gen[i] != h.cur { // free (or stale) slot
@@ -106,6 +110,8 @@ func (h *Histogram) Len() int { return len(h.touched) }
 // Best returns the most frequent key, breaking ties toward the smallest
 // key — the CDLP specification's deterministic argmax. A histogram with
 // no counts returns own (a vertex with no neighbors keeps its label).
+//
+//graphalint:noalloc
 func (h *Histogram) Best(own int64) int64 {
 	best := own
 	var bestCount int32

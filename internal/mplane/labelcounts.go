@@ -33,6 +33,8 @@ func (c *LabelCounts) EnsureDomain(n int) {
 }
 
 // Add counts one occurrence of label l.
+//
+//graphalint:noalloc the touched list reuses its capacity across vertices
 func (c *LabelCounts) Add(l int32) {
 	if c.cnt[l] == 0 {
 		c.touched = append(c.touched, l)
@@ -47,6 +49,8 @@ func (c *LabelCounts) Len() int { return len(c.touched) }
 // smallest — the CDLP argmax on the dense domain — and clears the counts
 // in the same pass. With no counts it returns own (a vertex with no
 // neighbors keeps its label).
+//
+//graphalint:noalloc
 func (c *LabelCounts) BestAndReset(own int32) int32 {
 	best := own
 	var bestCount int32

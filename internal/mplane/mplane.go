@@ -76,6 +76,8 @@ type Stage[T any] struct {
 }
 
 // Send stages one message for vertex dst.
+//
+//graphalint:noalloc appends reuse the stage's capacity; growth amortizes to the round's high-water mark
 func (s *Stage[T]) Send(dst int32, m T) {
 	s.Dst = append(s.Dst, dst)
 	s.Msg = append(s.Msg, m)
@@ -85,6 +87,8 @@ func (s *Stage[T]) Send(dst int32, m T) {
 func (s *Stage[T]) Len() int { return len(s.Dst) }
 
 // Reset empties the stage, keeping its capacity.
+//
+//graphalint:noalloc
 func (s *Stage[T]) Reset() {
 	s.Dst = s.Dst[:0]
 	s.Msg = s.Msg[:0]
@@ -122,6 +126,8 @@ type Inbox[T any] struct {
 
 // Begin starts a delivery round for n vertices, zeroing the counters. The
 // previous round's offsets and payloads stay readable until Seal.
+//
+//graphalint:noalloc steady state: Grow reuses capacity once buffers reach the round's message volume
 func (ib *Inbox[T]) Begin(n int) {
 	ib.n = n
 	ib.cnt = GrowZero(ib.cnt, n)
@@ -129,6 +135,8 @@ func (ib *Inbox[T]) Begin(n int) {
 
 // Count tallies a stage's destinations. Stages must be counted in
 // delivery order, the same order they are later scattered in.
+//
+//graphalint:noalloc
 func (ib *Inbox[T]) Count(st *Stage[T]) {
 	for _, dst := range st.Dst {
 		ib.cnt[dst]++
@@ -137,6 +145,8 @@ func (ib *Inbox[T]) Count(st *Stage[T]) {
 
 // Seal prefix-sums the counters into offsets and prepares the payload
 // buffer. After Seal the previous round's segments are dead.
+//
+//graphalint:noalloc steady state: Grow reuses capacity once buffers reach the round's message volume
 func (ib *Inbox[T]) Seal() {
 	n := ib.n
 	ib.off = Grow(ib.off, n+1)
@@ -153,6 +163,8 @@ func (ib *Inbox[T]) Seal() {
 
 // Scatter delivers a stage's messages into the sealed layout. Stages must
 // be scattered in the same order they were counted.
+//
+//graphalint:noalloc
 func (ib *Inbox[T]) Scatter(st *Stage[T]) {
 	for i, dst := range st.Dst {
 		k := ib.cur[dst]
@@ -163,6 +175,8 @@ func (ib *Inbox[T]) Scatter(st *Stage[T]) {
 
 // At returns the messages delivered to vertex v this round, in delivery
 // order. The slice aliases the inbox and dies at the next Seal.
+//
+//graphalint:noalloc
 func (ib *Inbox[T]) At(v int32) []T { return ib.buf[ib.off[v]:ib.off[v+1]] }
 
 // Total returns the number of messages delivered this round.
@@ -183,6 +197,8 @@ type Slots[T any] struct {
 }
 
 // Begin starts a delivery round for n vertices, invalidating all slots.
+//
+//graphalint:noalloc steady state: the slot arrays are reallocated only when the vertex count changes
 func (s *Slots[T]) Begin(n int) {
 	if len(s.gen) != n {
 		s.val = Grow(s.val, n)
@@ -198,6 +214,8 @@ func (s *Slots[T]) Begin(n int) {
 
 // Put delivers one message to vertex v, combining it left to right with a
 // message already in the slot.
+//
+//graphalint:noalloc
 func (s *Slots[T]) Put(v int32, m T, combine func(a, b T) T) {
 	if s.gen[v] != s.cur {
 		s.gen[v] = s.cur
@@ -213,6 +231,8 @@ func (s *Slots[T]) Has(v int32) bool { return s.gen[v] == s.cur }
 // At returns vertex v's combined inbox as a zero- or one-element slice
 // aliasing the slot, mirroring Inbox.At for engine code that treats both
 // paths uniformly.
+//
+//graphalint:noalloc
 func (s *Slots[T]) At(v int32) []T {
 	if s.gen[v] != s.cur {
 		return nil

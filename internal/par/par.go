@@ -115,6 +115,8 @@ func Accumulate[T any](n, p int, fn func(worker, lo, hi int) T) []T {
 // the partials are added in block order. Block boundaries are independent
 // of p, so the result is bit-identical at every worker count — the
 // determinism contract parallel float kernels are validated under.
+//
+//graphalint:orderfree the fixed reduction tree itself: block boundaries are worker-count independent and partials are added in block order
 func SumBlocked(n, p int, sum func(lo, hi int) float64) float64 {
 	if n <= 0 {
 		return 0

@@ -225,6 +225,7 @@ func Run(t *testing.T, p platform.Platform) {
 					if err != nil {
 						t.Fatalf("reference: %v", err)
 					}
+					//graphalint:ctxbg test-harness root: each conformance check owns a test-scoped context
 					ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 					defer cancel()
 					res, err := p.Execute(ctx, up, a, c.Params)
@@ -260,6 +261,7 @@ func RunCancellation(t *testing.T, p platform.Platform) {
 		t.Fatalf("upload: %v", err)
 	}
 	defer up.Free()
+	//graphalint:ctxbg test-harness root: the cancellation check mints the context it cancels
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, a := range algorithms.All {
@@ -287,6 +289,7 @@ func RunDeterminism(t *testing.T, p platform.Platform, a algorithms.Algorithm) {
 	}
 	defer up.Free()
 	run := func() *algorithms.Output {
+		//graphalint:ctxbg test-harness root: each conformance check owns a test-scoped context
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 		defer cancel()
 		res, err := p.Execute(ctx, up, a, c.Params)

@@ -113,6 +113,7 @@ const (
 // datasets, builds routing tables, and registers the (substantial) memory
 // the dataflow representation occupies.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	//graphalint:ctxbg ctx-less platform.Platform compatibility method; UploadContext is the ctx-first path
 	return e.UploadContext(context.Background(), g, cfg)
 }
 

@@ -49,12 +49,16 @@ func acquireScratch(u *uploaded) *dfScratch {
 }
 
 // counters returns the per-vertex-partition counter array, zeroed.
+//
+//graphalint:noalloc steady state: Grow reuses the pooled array once it fits the partition count
 func (sc *dfScratch) counters(nvp int) []int {
 	sc.perVPart = mplane.GrowZero(sc.perVPart, nvp)
 	return sc.perVPart
 }
 
 // frontier returns the two frontier-flag arrays, zeroed.
+//
+//graphalint:noalloc steady state: Grow reuses the pooled arrays once they fit the vertex count
 func (sc *dfScratch) frontier(n int) (active, next []bool) {
 	sc.active = mplane.GrowZero(sc.active, n)
 	sc.nextActv = mplane.GrowZero(sc.nextActv, n)
@@ -181,6 +185,7 @@ func prFlow(ctx context.Context, u *uploaded, iterations int, damping float64) (
 	}
 	danglingParts := make([]float64, len(u.vparts))
 	dangling := 0.0
+	//graphalint:orderfree sequential single pass in vertex index order
 	for v := 0; v < n; v++ {
 		if u.degrees[v] == 0 {
 			dangling += rank[v]
@@ -213,6 +218,7 @@ func prFlow(ctx context.Context, u *uploaded, iterations int, damping float64) (
 				}
 				rank[v] = nv
 				if u.degrees[v] == 0 {
+					//graphalint:orderfree delivery folds run once per vertex in the CSR inbox's fixed vpart-major, vertex-major order
 					danglingParts[vp] += nv
 				}
 			})
@@ -220,6 +226,7 @@ func prFlow(ctx context.Context, u *uploaded, iterations int, damping float64) (
 			return nil, err
 		}
 		dangling = 0
+		//graphalint:orderfree partials folded in vpart-index order; vpart geometry is fixed at upload, not by host parallelism
 		for _, d := range danglingParts {
 			dangling += d
 		}

@@ -130,6 +130,7 @@ func (u *uploaded) Free() {
 // Upload implements platform.Platform: it builds the vertex-cut and each
 // machine's sorted arc store.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	//graphalint:ctxbg ctx-less platform.Platform compatibility method; UploadContext is the ctx-first path
 	return e.UploadContext(context.Background(), g, cfg)
 }
 

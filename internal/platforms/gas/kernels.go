@@ -59,6 +59,7 @@ func prGAS(ctx context.Context, u *uploaded, iterations int, damping float64) ([
 	contrib := make([]float64, n)
 	acc := make([]float64, n)
 	var dangling float64
+	//graphalint:orderfree sequential single pass in vertex index order
 	for v := int32(0); v < int32(n); v++ {
 		rank[v] = inv
 		if deg := g.OutDegree(v); deg > 0 {
@@ -76,6 +77,7 @@ func prGAS(ctx context.Context, u *uploaded, iterations int, damping float64) ([
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			ma := u.local[mach]
 			th.Chunks(len(ma.dsts), func(lo, hi int) {
+				//graphalint:orderfree arc fold follows the materialized doff order; machines add their group sums sequentially in machine order (RunRound contract)
 				for i := lo; i < hi; i++ {
 					dst := ma.dsts[i]
 					sum := 0.0
@@ -98,6 +100,7 @@ func prGAS(ctx context.Context, u *uploaded, iterations int, damping float64) ([
 			parts := make([]float64, th.Count())
 			th.ChunksIndexed(len(verts), func(w, lo, hi int) {
 				var d float64
+				//graphalint:orderfree per-chunk fold in vertex order over a fixed [lo, hi) chunk
 				for _, v := range verts[lo:hi] {
 					nv := base + damping*acc[v]
 					rank[v] = nv
@@ -111,6 +114,7 @@ func prGAS(ctx context.Context, u *uploaded, iterations int, damping float64) ([
 				parts[w] += d
 			})
 			var d float64
+			//graphalint:orderfree chunk partials folded in worker-index order; geometry fixed by the simulated thread config, not host parallelism
 			for _, x := range parts {
 				d += x
 			}
@@ -121,6 +125,7 @@ func prGAS(ctx context.Context, u *uploaded, iterations int, damping float64) ([
 			return nil, err
 		}
 		dangling = 0
+		//graphalint:orderfree partials folded in machine-index order; machine count is deployment config, not host parallelism
 		for _, d := range danglingParts {
 			dangling += d
 		}
@@ -130,6 +135,8 @@ func prGAS(ctx context.Context, u *uploaded, iterations int, damping float64) ([
 
 // mirrorGatherBytes accounts the per-iteration mirror-to-master partials
 // for dense gathers.
+//
+//graphalint:noalloc
 func mirrorGatherBytes(u *uploaded, mach int, valueBytes int64) {
 	u.Cl.Send(mach, (mach+1)%u.Cl.Machines(), u.mirrorCount[mach]*valueBytes)
 }
@@ -593,6 +600,8 @@ func lccGAS(ctx context.Context, u *uploaded) ([]float64, error) {
 }
 
 // intersectSorted counts common entries of two ascending lists, skipping v.
+//
+//graphalint:noalloc LCC inner loop: runs once per neighbor pair
 func intersectSorted(a, b []int32, v int32) int {
 	count, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {

@@ -79,6 +79,7 @@ func pagerank(ctx context.Context, g *graph.Graph, cl *cluster.Cluster, iteratio
 			// Worker-ordered reduction; the engine is validated within
 			// epsilon, so it need not mirror the reference's block tree.
 			var dangling float64
+			//graphalint:orderfree chunk partials folded in worker-index order; geometry fixed by the simulated thread config, not host parallelism
 			for _, d := range danglingParts {
 				dangling += d
 			}
@@ -112,31 +113,7 @@ func wcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]int64, err
 		if err := cl.RunRound(func(_ int, th *cluster.Threads) error {
 			changedParts := make([]bool, th.Count())
 			th.ChunksIndexed(n, func(w, lo, hi int) {
-				changed := false
-				for v := lo; v < hi; v++ {
-					orig := atomic.LoadInt32(&label[v])
-					m := orig
-					for _, u := range g.OutNeighbors(int32(v)) {
-						if l := atomic.LoadInt32(&label[u]); l < m {
-							m = l
-						}
-					}
-					if g.Directed() {
-						for _, u := range g.InNeighbors(int32(v)) {
-							if l := atomic.LoadInt32(&label[u]); l < m {
-								m = l
-							}
-						}
-					}
-					if m < orig {
-						// A concurrent smaller store may be overwritten here;
-						// that writer sets its changed flag, so the fixpoint
-						// loop runs again and re-lowers the label.
-						atomic.StoreInt32(&label[v], m)
-						changed = true
-					}
-				}
-				changedParts[w] = changed
+				changedParts[w] = wccRange(g, label, lo, hi)
 			})
 			for _, c := range changedParts {
 				any = any || c
@@ -154,6 +131,39 @@ func wcc(ctx context.Context, g *graph.Graph, cl *cluster.Cluster) ([]int64, err
 		out[v] = g.VertexID(label[v])
 	}
 	return out, nil
+}
+
+// wccRange runs one min-label sweep for v in [lo, hi): each vertex takes
+// the minimum label over itself and both neighbor directions, and the
+// return value reports whether any label in the range moved.
+//
+//graphalint:noalloc per-chunk superstep body: atomic loads and stores on the shared label array only
+func wccRange(g *graph.Graph, label []int32, lo, hi int) bool {
+	changed := false
+	for v := lo; v < hi; v++ {
+		orig := atomic.LoadInt32(&label[v])
+		m := orig
+		for _, u := range g.OutNeighbors(int32(v)) {
+			if l := atomic.LoadInt32(&label[u]); l < m {
+				m = l
+			}
+		}
+		if g.Directed() {
+			for _, u := range g.InNeighbors(int32(v)) {
+				if l := atomic.LoadInt32(&label[u]); l < m {
+					m = l
+				}
+			}
+		}
+		if m < orig {
+			// A concurrent smaller store may be overwritten here; that
+			// writer sets its changed flag, so the fixpoint loop runs
+			// again and re-lowers the label.
+			atomic.StoreInt32(&label[v], m)
+			changed = true
+		}
+	}
+	return changed
 }
 
 // nativeScratch is the pooled per-job working state of the CDLP and SSSP
@@ -296,6 +306,7 @@ func sssp(ctx context.Context, u *uploaded, source int32) ([]float64, error) {
 			sc.sums[w] = algorithms.SSSPWeightRange(g, lo, hi)
 		})
 		var total float64
+		//graphalint:orderfree chunk partials folded in worker-index order; geometry fixed by the simulated thread config, not host parallelism
 		for _, s := range sc.sums[:th.Count()] {
 			total += s
 		}

@@ -65,6 +65,7 @@ func (u *uploaded) Free() {
 // directly, so upload only registers the graph's memory against the
 // machine budget.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	//graphalint:ctxbg ctx-less platform.Platform compatibility method; UploadContext is the ctx-first path
 	return e.UploadContext(context.Background(), g, cfg)
 }
 

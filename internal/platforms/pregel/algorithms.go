@@ -85,6 +85,7 @@ func prProgram(ctx context.Context, t *granula.Tracker, u *uploaded, iterations 
 	compute := func(w *worker[float64], v int32, msgs []float64, superstep int) {
 		if superstep > 0 {
 			sum := 0.0
+			//graphalint:orderfree messages arrive in the combined inbox's fixed delivery order (stable CSR scatter, machine-major)
 			for _, m := range msgs {
 				sum += m
 			}

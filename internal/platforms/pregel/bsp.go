@@ -67,13 +67,19 @@ type worker[T any] struct {
 }
 
 // Send queues a message to dst for the next superstep.
+//
+//graphalint:noalloc
 func (w *worker[T]) Send(dst int32, msg T) { w.stage.Send(dst, msg) }
 
 // VoteToHalt marks the vertex inactive until a message reactivates it.
+//
+//graphalint:noalloc the halt list reuses its capacity across supersteps
 func (w *worker[T]) VoteToHalt(v int32) { w.halts = append(w.halts, v) }
 
 // Aggregate adds x to the global aggregator readable in the next
 // superstep.
+//
+//graphalint:noalloc
 func (w *worker[T]) Aggregate(x float64) { w.agg += x }
 
 // Agg returns the aggregator value accumulated during the previous
@@ -81,6 +87,8 @@ func (w *worker[T]) Aggregate(x float64) { w.agg += x }
 func (w *worker[T]) Agg() float64 { return w.r.agg }
 
 // reset clears the worker's per-superstep staging, keeping capacity.
+//
+//graphalint:noalloc
 func (w *worker[T]) reset() {
 	w.stage.Reset()
 	w.halts = w.halts[:0]
@@ -132,6 +140,8 @@ func (r *runner[T]) release() {
 }
 
 // msgs returns the messages delivered to v for the current superstep.
+//
+//graphalint:noalloc
 func (r *runner[T]) msgs(v int32) []T {
 	if r.combine != nil {
 		return r.slots.At(v)
@@ -140,6 +150,8 @@ func (r *runner[T]) msgs(v int32) []T {
 }
 
 // hasMsgs reports whether v received any message in the last delivery.
+//
+//graphalint:noalloc
 func (r *runner[T]) hasMsgs(v int32) bool {
 	if r.combine != nil {
 		return r.slots.Has(v)
@@ -202,6 +214,7 @@ func (r *runner[T]) run(ctx context.Context, compute func(w *worker[T], v int32,
 				wire[i] = 0
 			}
 			for _, w := range workers {
+				//graphalint:orderfree aggregator folded in worker-index order (see the delivery-order comment above)
 				r.aggNext += w.agg
 				for i, dst := range w.stage.Dst {
 					if o := int(part.Owner[dst]); o != mach {

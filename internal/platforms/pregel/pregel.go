@@ -88,6 +88,7 @@ func (u *uploaded) Free() {
 // Upload implements platform.Platform: the graph is exploded into
 // per-vertex adjacency objects hash-partitioned over the machines.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	//graphalint:ctxbg ctx-less platform.Platform compatibility method; UploadContext is the ctx-first path
 	return e.UploadContext(context.Background(), g, cfg)
 }
 

@@ -138,12 +138,14 @@ func pagerank(ctx context.Context, u *uploaded, iterations int, damping float64)
 			// Replicated dangling-mass computation (same result on every
 			// machine, no traffic).
 			var dangling float64
+			//graphalint:orderfree fold over the precomputed danglingVerts list in its fixed upload-time order
 			for _, v := range u.danglingVerts {
 				dangling += rank[v]
 			}
 			base := (1-damping)*inv + damping*dangling*inv
 			verts := part.Verts[mach]
 			th.Chunks(len(verts), func(lo, hi int) {
+				//graphalint:orderfree per-vertex fold follows CSR in-neighbor order, fixed by the snapshot
 				for _, v := range verts[lo:hi] {
 					sum := 0.0
 					for _, in := range st.in(v) {

@@ -71,14 +71,24 @@ type store struct {
 	inAdj    []int32
 }
 
+// The adjacency accessors sit on every push and pull scan's per-edge
+// path; they return views into the CSR arrays, never copies.
+//
+//graphalint:noalloc
 func (s *store) out(v int32) []int32 { return s.outAdj[s.outOff[v]:s.outOff[v+1]] }
-func (s *store) in(v int32) []int32  { return s.inAdj[s.inOff[v]:s.inOff[v+1]] }
+
+//graphalint:noalloc
+func (s *store) in(v int32) []int32 { return s.inAdj[s.inOff[v]:s.inOff[v+1]] }
+
+//graphalint:noalloc
 func (s *store) outWeights(v int32) []float64 {
 	if s.outW == nil {
 		return nil
 	}
 	return s.outW[s.outOff[v]:s.outOff[v+1]]
 }
+
+//graphalint:noalloc
 func (s *store) outDegree(v int32) int { return int(s.outOff[v+1] - s.outOff[v]) }
 
 type uploaded struct {
@@ -102,6 +112,7 @@ func (u *uploaded) Free() {
 // copied into engine storage and charged, together with the wide
 // per-vertex slots and ghost caches, against every machine.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	//graphalint:ctxbg ctx-less platform.Platform compatibility method; UploadContext is the ctx-first path
 	return e.UploadContext(context.Background(), g, cfg)
 }
 

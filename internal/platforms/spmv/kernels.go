@@ -38,6 +38,7 @@ func pagerank(ctx context.Context, u *uploaded, iterations int, damping float64)
 			parts := make([]float64, th.Count())
 			th.ChunksIndexed(len(verts), func(w, lo, hi int) {
 				var d float64
+				//graphalint:orderfree per-chunk fold in vertex order over a fixed [lo, hi) chunk
 				for _, v := range verts[lo:hi] {
 					deg := m.outDegree(v)
 					if deg == 0 {
@@ -50,6 +51,7 @@ func pagerank(ctx context.Context, u *uploaded, iterations int, damping float64)
 				parts[w] += d
 			})
 			var d float64
+			//graphalint:orderfree chunk partials folded in worker-index order; geometry fixed by the simulated thread config, not host parallelism
 			for _, x := range parts {
 				d += x
 			}
@@ -60,6 +62,7 @@ func pagerank(ctx context.Context, u *uploaded, iterations int, damping float64)
 			return nil, err
 		}
 		var dangling float64
+		//graphalint:orderfree partials folded in machine-index order; machine count is deployment config, not host parallelism
 		for _, d := range danglingParts {
 			dangling += d
 		}
@@ -67,6 +70,7 @@ func pagerank(ctx context.Context, u *uploaded, iterations int, damping float64)
 		if err := cl.RunRound(func(mach int, th *cluster.Threads) error {
 			verts := part.Verts[mach]
 			th.Chunks(len(verts), func(lo, hi int) {
+				//graphalint:orderfree per-row fold follows the CSC column order, fixed by the upload-time matrix layout
 				for _, v := range verts[lo:hi] {
 					sum := 0.0
 					for _, uix := range m.col(v) {
@@ -409,9 +413,12 @@ func lcc(ctx context.Context, u *uploaded) ([]float64, error) {
 
 // unionSorted merges two sorted neighbor lists, dropping duplicates and
 // self. For undirected (symmetric) matrices only the row is used.
+//
+//graphalint:noalloc appends extend the caller's pooled buffer in place
 func unionSorted(row, col []int32, v int32, directed bool, buf []int32) []int32 {
 	if !directed {
-		return append(buf, row...)
+		buf = append(buf, row...)
+		return buf
 	}
 	i, j := 0, 0
 	for i < len(row) || j < len(col) {
@@ -443,6 +450,8 @@ func unionSorted(row, col []int32, v int32, directed bool, buf []int32) []int32 
 
 // intersectCount returns |a ∩ b| excluding the vertex v, for two sorted
 // lists.
+//
+//graphalint:noalloc LCC inner loop: runs once per neighbor pair
 func intersectCount(a, b []int32, v int32) int {
 	count, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {

@@ -94,6 +94,7 @@ func (u *uploaded) Free() {
 // engine's CSR+CSC matrix layout and registers the per-machine memory
 // shares.
 func (e *Engine) Upload(g *graph.Graph, cfg platform.RunConfig) (platform.Uploaded, error) {
+	//graphalint:ctxbg ctx-less platform.Platform compatibility method; UploadContext is the ctx-first path
 	return e.UploadContext(context.Background(), g, cfg)
 }
 

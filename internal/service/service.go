@@ -123,6 +123,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.EventBuffer < 1 {
 		cfg.EventBuffer = DefaultEventBuffer
 	}
+	//graphalint:ctxbg process root: the service owns the daemon-lifetime context; every run derives from it and Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		session:     core.NewSession(cfg.SessionOptions...),

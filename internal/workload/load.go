@@ -68,6 +68,7 @@ func GetFrom(s *graphstore.Store, id string) (graphstore.Result, error) {
 // any context error.
 func Warm(ctx context.Context, s *graphstore.Store, parallel int, onEach func(id string, r graphstore.Result, err error)) error {
 	if ctx == nil {
+		//graphalint:ctxbg nil-ctx guard for deprecated ctx-less entry points; ctx-first callers never hit it
 		ctx = context.Background()
 	}
 	datasets := Catalog()

@@ -23,6 +23,11 @@ BENCHTIME=${BENCHTIME:-3x}
 COUNT=${COUNT:-1}
 OUT=${OUT:-BENCH_$(date +%F).json}
 
+# Preflight: a tree that violates the determinism/zero-alloc/ctx-first
+# contracts produces numbers not worth snapshotting.
+echo "preflight: graphalint ./..."
+go run ./cmd/graphalint ./...
+
 raw=$(go test -run=NONE -bench="$BENCH" -benchtime="$BENCHTIME" -count="$COUNT" -benchmem . |
 	grep -E '^(Benchmark|goos:|goarch:|pkg:|cpu:)')
 
@@ -54,6 +59,9 @@ END {
 	printf "  ],\n  \"benchstat\": [\n"
 	for (i = 0; i < nraw; i++) printf "    \"%s\"%s\n", jesc(rawline[i]), (i < nraw - 1 ? "," : "")
 	printf "  ]\n}\n"
-}' <<<"$raw" >"$OUT"
+}' <<<"$raw" >"$OUT.tmp"
 
+# Write-then-rename so a failure mid-emit can never leave a truncated
+# snapshot behind under the final name.
+mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT"
