@@ -78,11 +78,11 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|plan|suite|warm|renewal|validate|bench|submit|watch> [flags]
   list                      print platforms, datasets and the workload survey
-  run     -platform -dataset -algorithm [-threads -machines -archive] [-cache-dir DIR]
-  run     -spec spec.json [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
+  run     -platform -dataset -algorithm [-threads -machines -archive] [-cache-dir DIR] [-mmap]
+  run     -spec spec.json [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR] [-mmap]
   plan    -spec spec.json [-json]        compile a spec and print the plan (dry run)
   suite   -id <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table8|table9|table10|table11|all> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
-  warm    -cache-dir DIR [-parallel N]   materialize the catalog into a snapshot cache
+  warm    -cache-dir DIR [-parallel N] [-dataset IDS] [-mmap]   materialize datasets into a snapshot cache
   renewal -budget <duration> [-platform native]
   validate -algorithm <name> -got <file> -want <file>
   bench   -description <file.json> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
@@ -102,7 +102,13 @@ it, paying one graph upload per deployment group.
 
 -cache-dir persists datasets as binary CSR snapshots: the first run
 generates and caches them, later runs (and 'warm'-ed caches) load the
-snapshots instead of re-generating.`)
+snapshots instead of re-generating.
+
+-mmap serves warm snapshots as mmap-backed graphs: open is O(header),
+the CSR arrays are read zero-copy from the page cache, and pages stay
+reclaimable by the OS — so graphs larger than RAM can run. Out-of-core
+datasets (XL22, XL24) materialize through a spill-to-disk builder and
+are warmed by name: 'warm -cache-dir DIR -dataset XL22 -mmap'.`)
 }
 
 // progressObserver renders the session's event stream as live progress
@@ -170,6 +176,16 @@ func cmdList(args []string) error {
 			d.ID, g.Name(), g.NumVertices(), g.NumEdges(),
 			graphalytics.GraphScale(g), graphalytics.DatasetClass(g), d.Domain)
 	}
+	// Out-of-core entries are listed from catalog metadata only: their
+	// point is that they are too large to materialize casually.
+	fmt.Println("\nOn-demand out-of-core datasets (warm -dataset ID -mmap):")
+	for _, d := range workload.FullCatalog() {
+		if !d.OutOfCore {
+			continue
+		}
+		fmt.Printf("  %-10s %-22s scale=%.1f class=XL  %s (streamed build + mmap)\n",
+			d.ID, d.Name, d.PaperScale, d.Domain)
+	}
 	fmt.Println("\nWorkload selection survey (Table 1):")
 	for _, row := range workload.Survey() {
 		kind := "unweighted"
@@ -220,7 +236,7 @@ func cmdPlan(args []string) error {
 // runSpec executes a benchmark spec end to end: compile to a plan, run it
 // with shared uploads, stream results to the sinks (-out JSONL, a report
 // table) and print the cross-platform analysis.
-func runSpec(ctx context.Context, specPath, out string, parallel int, progress bool, cacheDir string) error {
+func runSpec(ctx context.Context, specPath, out string, parallel int, progress bool, cacheDir string, mmap bool) error {
 	sp, err := graphalytics.LoadSpec(specPath)
 	if err != nil {
 		return err
@@ -235,6 +251,9 @@ func runSpec(ctx context.Context, specPath, out string, parallel int, progress b
 	}
 	if cacheDir != "" {
 		opts = append(opts, graphalytics.WithCacheDir(cacheDir))
+		if mmap {
+			opts = append(opts, graphalytics.WithMappedSnapshots(true))
+		}
 	}
 	var outFile *os.File
 	if out != "" {
@@ -301,13 +320,17 @@ func cmdRun(ctx context.Context, args []string) error {
 	parallel := fs.Int("parallel", 1, "with -spec: concurrent jobs (1 preserves timing fidelity)")
 	progress := fs.Bool("progress", false, "with -spec: stream per-job progress to stderr")
 	cacheDir := fs.String("cache-dir", "", "load/persist datasets as binary snapshots under this directory")
+	mmap := fs.Bool("mmap", false, "with -cache-dir: serve warm snapshots as mmap-backed graphs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *mmap && *cacheDir == "" {
+		return fmt.Errorf("run: -mmap requires -cache-dir (mapping needs on-disk snapshots)")
 	}
 	if *specPath != "" {
 		// The single-job flags have no effect in spec mode; reject them
 		// loudly instead of silently dropping what the user asked for.
-		specFlags := map[string]bool{"spec": true, "out": true, "parallel": true, "progress": true, "cache-dir": true}
+		specFlags := map[string]bool{"spec": true, "out": true, "parallel": true, "progress": true, "cache-dir": true, "mmap": true}
 		var stray []string
 		fs.Visit(func(f *flag.Flag) {
 			if !specFlags[f.Name] {
@@ -317,13 +340,13 @@ func cmdRun(ctx context.Context, args []string) error {
 		if len(stray) > 0 {
 			return fmt.Errorf("run: %s cannot be combined with -spec (the spec defines the jobs)", strings.Join(stray, " "))
 		}
-		return runSpec(ctx, *specPath, *out, *parallel, *progress, *cacheDir)
+		return runSpec(ctx, *specPath, *out, *parallel, *progress, *cacheDir, *mmap)
 	}
 
 	var g *graphalytics.Graph
 	var err error
 	if *cacheDir != "" {
-		st := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: *cacheDir})
+		st := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: *cacheDir, MapSnapshots: *mmap})
 		g, err = graphalytics.LoadDatasetFrom(st, *dataset)
 	} else {
 		g, err = graphalytics.LoadDataset(*dataset)
@@ -598,22 +621,34 @@ func cmdWarm(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("warm", flag.ExitOnError)
 	cacheDir := fs.String("cache-dir", "", "dataset snapshot cache directory (required)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent materializations")
+	datasets := fs.String("dataset", "", "comma-separated dataset IDs (default: the whole in-core catalog; out-of-core XL datasets must be named here)")
+	mmap := fs.Bool("mmap", false, "serve warm snapshots as mmap-backed graphs (zero-copy, O(header) open)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *cacheDir == "" {
 		return fmt.Errorf("warm: -cache-dir is required")
 	}
-	st := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: *cacheDir})
+	st := graphalytics.NewGraphStore(graphalytics.GraphStoreOptions{Dir: *cacheDir, MapSnapshots: *mmap})
 	start := time.Now()
-	err := graphalytics.WarmCatalog(ctx, st, *parallel, func(id string, r graphalytics.GraphStoreResult, err error) {
+	onEach := func(id string, r graphalytics.GraphStoreResult, err error) {
 		if err != nil {
 			fmt.Printf("  %-10s ERROR %v\n", id, err)
 			return
 		}
-		fmt.Printf("  %-10s %-9s |V|=%-8d |E|=%-9d %v\n",
-			id, r.Source, r.Graph.NumVertices(), r.Graph.NumEdges(), r.Elapsed.Round(time.Microsecond))
-	})
+		resident := "heap"
+		if r.MappedBytes > 0 {
+			resident = "mapped"
+		}
+		fmt.Printf("  %-10s %-9s |V|=%-8d |E|=%-9d %-6s %v\n",
+			id, r.Source, r.Graph.NumVertices(), r.Graph.NumEdges(), resident, r.Elapsed.Round(time.Microsecond))
+	}
+	var err error
+	if *datasets != "" {
+		err = graphalytics.WarmDatasets(ctx, st, *parallel, strings.Split(*datasets, ","), onEach)
+	} else {
+		err = graphalytics.WarmCatalog(ctx, st, *parallel, onEach)
+	}
 	if err != nil {
 		return err
 	}

@@ -73,6 +73,7 @@ func run() error {
 	sla := fs.Duration("sla", time.Minute, "default per-job makespan budget (specs and jobs can override)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "how long running deployments may finish after a shutdown signal")
 	warm := fs.Bool("warm", false, "materialize the whole catalog into the store before serving")
+	mmap := fs.Bool("mmap", false, "with -cache-dir: serve warm snapshots as mmap-backed graphs (zero-copy, OS-reclaimable pages)")
 	var tenants tenantFlags
 	fs.Var(&tenants, "tenant", "tenant as name[:key[:maxRunning[:maxQueued]]]; repeatable (default: one open tenant \"public\")")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -87,8 +88,14 @@ func run() error {
 		core.WithParallelism(*parallel),
 		core.WithResultsDB(db),
 	}
+	if *mmap && *cacheDir == "" {
+		return fmt.Errorf("-mmap requires -cache-dir (mapping needs on-disk snapshots)")
+	}
 	if *cacheDir != "" {
 		opts = append(opts, core.WithCacheDir(*cacheDir))
+		if *mmap {
+			opts = append(opts, core.WithMappedSnapshots(true))
+		}
 	}
 	var outFile *os.File
 	if *out != "" {

@@ -63,7 +63,11 @@ type Event struct {
 	Dataset string        // dataset ID, e.g. "D300"
 	Source  string        // "memory", "snapshot" or "built"
 	Elapsed time.Duration // materialization wall time for this load
-	Bytes   int64         // graph memory footprint
+	Bytes   int64         // graph memory footprint (graph.SizeBytes)
+	// MappedBytes is the portion of Bytes backed by an mmap'd snapshot
+	// (0 for heap-resident graphs): reclaimable by the OS under memory
+	// pressure, unlike heap bytes.
+	MappedBytes int64
 }
 
 // Observer receives the session's event stream.

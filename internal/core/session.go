@@ -54,6 +54,10 @@ type config struct {
 	// per-batch override logic can tell an explicitly passed store from
 	// one inherited from the session.
 	storeExplicit bool
+	// mapped asks the cache-dir store to serve v2 snapshots as
+	// mmap-backed graphs (WithMappedSnapshots). Only meaningful together
+	// with cacheDir; an explicit WithGraphStore carries its own policy.
+	mapped bool
 }
 
 // resolveStore settles which graph store the session materializes
@@ -65,7 +69,7 @@ func (c *config) resolveStore() {
 		return
 	}
 	if c.cacheDir != "" {
-		c.store = graphstore.New(graphstore.Options{Dir: c.cacheDir})
+		c.store = graphstore.New(graphstore.Options{Dir: c.cacheDir, MapSnapshots: c.mapped})
 		return
 	}
 	c.store = workload.DefaultStore()
@@ -134,6 +138,14 @@ func WithUploadSharing(on bool) Option { return func(c *config) { c.shareUploads
 // is also given.
 func WithCacheDir(dir string) Option { return func(c *config) { c.cacheDir = dir } }
 
+// WithMappedSnapshots makes the WithCacheDir store serve v2 snapshots as
+// mmap-backed graphs instead of decoding them onto the heap: opening a
+// warm snapshot costs O(header) and its pages stay reclaimable by the OS,
+// which is what lets a session run graphs larger than RAM. Engine outputs
+// are identical either way. Ignored without WithCacheDir, and when
+// WithGraphStore supplies a store with its own policy.
+func WithMappedSnapshots(on bool) Option { return func(c *config) { c.mapped = on } }
+
 // Session orchestrates benchmark jobs: SLA enforcement, validation
 // against single-flighted reference outputs, a results database, and a
 // bounded-parallelism scheduler. It is safe for concurrent use.
@@ -187,7 +199,7 @@ func (s *Session) batchSession(opts []Option) *Session {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if !cfg.storeExplicit && cfg.cacheDir != s.cfg.cacheDir {
+	if !cfg.storeExplicit && (cfg.cacheDir != s.cfg.cacheDir || cfg.mapped != s.cfg.mapped) {
 		// A per-batch WithCacheDir asks for a different snapshot store —
 		// but only when the batch did not also pass WithGraphStore, which
 		// always wins.
@@ -210,7 +222,8 @@ func (s *Session) loadGraph(d workload.Dataset) (*graph.Graph, error) {
 	}
 	s.emit(Event{
 		Type: EventDatasetMaterialized, Dataset: d.ID,
-		Source: string(r.Source), Elapsed: r.Elapsed, Bytes: r.Bytes,
+		Source: string(r.Source), Elapsed: r.Elapsed,
+		Bytes: r.Bytes, MappedBytes: r.MappedBytes,
 	})
 	return r.Graph, nil
 }

@@ -46,6 +46,11 @@ type Builder struct {
 	opts     BuildOptions
 	vertices []int64
 	edges    []Edge
+
+	// spill, when non-nil, switches edge accumulation to the out-of-core
+	// path (bounded buffers spilled to sorted runs; see stream.go). Such a
+	// builder produces its graph with BuildTo, not Build.
+	spill *spillState
 }
 
 // NewBuilder returns a Builder for a graph with the given direction and
@@ -61,11 +66,16 @@ func (b *Builder) SetName(name string) *Builder { b.name = name; return b }
 func (b *Builder) SetOptions(opts BuildOptions) *Builder { b.opts = opts; return b }
 
 // Grow pre-allocates capacity for the given number of vertices and edges.
+// Spill-configured builders ignore the edge hint: their edge buffer is
+// bounded by the spill budget, never by the expected total.
 func (b *Builder) Grow(vertices, edges int) {
 	if cap(b.vertices)-len(b.vertices) < vertices {
 		nv := make([]int64, len(b.vertices), len(b.vertices)+vertices)
 		copy(nv, b.vertices)
 		b.vertices = nv
+	}
+	if b.spill != nil {
+		return
 	}
 	if cap(b.edges)-len(b.edges) < edges {
 		ne := make([]Edge, len(b.edges), len(b.edges)+edges)
@@ -79,17 +89,32 @@ func (b *Builder) Grow(vertices, edges int) {
 func (b *Builder) AddVertex(id int64) { b.vertices = append(b.vertices, id) }
 
 // AddEdge adds an unweighted edge.
-func (b *Builder) AddEdge(src, dst int64) { b.edges = append(b.edges, Edge{Src: src, Dst: dst}) }
+func (b *Builder) AddEdge(src, dst int64) {
+	if b.spill != nil {
+		b.spillAdd(src, dst, 0)
+		return
+	}
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst})
+}
 
 // AddWeightedEdge adds an edge with weight w. The weight is ignored when
 // the builder was created with weighted=false.
 func (b *Builder) AddWeightedEdge(src, dst int64, w float64) {
+	if b.spill != nil {
+		b.spillAdd(src, dst, w)
+		return
+	}
 	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: w})
 }
 
 // NumEdgesAdded returns how many edges have been added so far (before any
 // normalization).
-func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+func (b *Builder) NumEdgesAdded() int {
+	if b.spill != nil {
+		return int(b.spill.seq)
+	}
+	return len(b.edges)
+}
 
 // Build validates and normalizes the accumulated input and returns the
 // immutable Graph. The Builder can be reused afterwards, but the built
@@ -99,6 +124,9 @@ func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
 // partitions sized by GOMAXPROCS instead of a global comparison sort, so
 // large graphs build at O(|E|) work with near-linear multi-core speedup.
 func (b *Builder) Build() (*Graph, error) {
+	if b.spill != nil {
+		return nil, errors.New("graph: builder has spill configured; use BuildTo")
+	}
 	ids := b.collectIDs()
 	index := make(map[int64]int32, len(ids))
 	for i, id := range ids {

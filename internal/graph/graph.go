@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is an immutable graph in CSR form. Use a Builder to construct one.
@@ -37,6 +38,12 @@ type Graph struct {
 	inW   []float64
 
 	numEdges int64 // logical edges: an undirected edge counts once
+
+	// mapped is non-nil when the arrays above alias an mmap'd snapshot
+	// (MapSnapshotFile) instead of heap allocations; mapClosed latches the
+	// release of the graph's own mapping reference. See mapped.go.
+	mapped    *mapping
+	mapClosed atomic.Bool
 }
 
 // Name returns the graph's name (may be empty).

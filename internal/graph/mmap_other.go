@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package graph
+
+import "os"
+
+// mmapSupported reports whether this platform can map snapshot files.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, ErrMapUnsupported
+}
+
+func munmapFile(data []byte) error { return nil }

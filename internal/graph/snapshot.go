@@ -9,12 +9,15 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 )
 
-// The snapshot format persists a built graph's CSR arrays verbatim, so a
+// The snapshot formats persist a built graph's CSR arrays verbatim, so a
 // cached dataset loads back with a handful of bulk reads instead of
-// re-parsing text or re-running a generator. Layout (little-endian):
+// re-parsing text or re-running a generator. This file holds the v1
+// stream format and the shared codec helpers; the page-aligned v2 format
+// (the mmap-able one WriteSnapshotFile now produces) lives in
+// snapshot_v2.go. DecodeSnapshot sniffs the version, so v1 files written
+// by older builds stay readable. v1 layout (little-endian):
 //
 //	magic   [8]byte  "GLYTSNAP"
 //	version uint32   (currently 1)
@@ -129,31 +132,46 @@ func EncodeSnapshot(w io.Writer, g *Graph) error {
 	return nil
 }
 
-// DecodeSnapshot reads a graph from the binary snapshot format. Corrupt,
-// truncated or version-mismatched input yields an error wrapping
-// ErrBadSnapshot.
+// DecodeSnapshot reads a graph from the binary snapshot format, copying
+// every array into fresh heap allocations. Both format versions are
+// accepted: the leading magic + version field is sniffed without
+// consuming input, then the matching decoder runs. Corrupt, truncated or
+// version-mismatched input yields an error wrapping ErrBadSnapshot.
 func DecodeSnapshot(r io.Reader) (*Graph, error) {
+	raw := bufio.NewReaderSize(r, 1<<16)
+	head, err := raw.Peek(12)
+	if err != nil {
+		return nil, badSnapshot("reading magic: %v", err)
+	}
+	if string(head[:8]) != snapshotMagic {
+		return nil, badSnapshot("magic %q", head[:8])
+	}
+	switch version := binary.LittleEndian.Uint32(head[8:12]); version {
+	case snapshotVersion:
+		return decodeSnapshotV1(raw)
+	case snapshotVersion2:
+		return decodeSnapshotV2Stream(raw)
+	default:
+		return nil, badSnapshot("version %d", version)
+	}
+}
+
+// decodeSnapshotV1 reads the v1 stream format from raw, whose magic and
+// version have been sniffed but not consumed.
+func decodeSnapshotV1(raw *bufio.Reader) (*Graph, error) {
 	// The tee sits on the consumer side of the buffer, so the hash covers
 	// exactly the bytes decoded — bufio read-ahead must not feed the
 	// trailing checksum into its own computation.
 	crc := crc32.New(crcTable)
-	raw := bufio.NewReaderSize(r, 1<<16)
 	br := io.TeeReader(raw, crc)
 
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, badSnapshot("reading magic: %v", err)
 	}
-	if string(magic[:]) != snapshotMagic {
-		return nil, badSnapshot("magic %q", magic)
-	}
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, badSnapshot("reading header: %v", err)
-	}
-	version := binary.LittleEndian.Uint32(hdr[0:4])
-	if version != snapshotVersion {
-		return nil, badSnapshot("version %d, want %d", version, snapshotVersion)
 	}
 	flags := binary.LittleEndian.Uint32(hdr[4:8])
 	nameLen := binary.LittleEndian.Uint32(hdr[8:12])
@@ -275,31 +293,24 @@ func badSnapshot(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
 }
 
-// WriteSnapshotFile atomically writes g's snapshot to path: the bytes land
-// in a temporary file in the same directory which is fsynced and renamed
+// WriteSnapshotFile atomically writes g's snapshot to path in the v2
+// page-aligned format (mmap-able via MapSnapshotFile): the bytes land in
+// a temporary file in the same directory which is fsynced and renamed
 // into place, so readers never observe a partial snapshot.
 func WriteSnapshotFile(path string, g *Graph) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("graph: snapshot temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := EncodeSnapshot(tmp, g); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("graph: sync snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("graph: close snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("graph: install snapshot: %w", err)
-	}
-	return nil
+	h := headerFromGraph(g)
+	return installSnapshot(path, func(f *os.File) error {
+		return writeSnapshotV2(f, h, graphSections(g, h))
+	})
+}
+
+// WriteSnapshotFileV1 is WriteSnapshotFile for the legacy v1 stream
+// format. It exists for compatibility tests and for producing snapshots
+// older builds can read; new snapshots should use WriteSnapshotFile.
+func WriteSnapshotFileV1(path string, g *Graph) error {
+	return installSnapshot(path, func(f *os.File) error {
+		return EncodeSnapshot(f, g)
+	})
 }
 
 // ReadSnapshotFile reads a snapshot written by WriteSnapshotFile. Errors

@@ -1,0 +1,560 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot format v2 is the out-of-core sibling of the v1 stream format:
+// every CSR array lives in its own page-aligned section whose file offset,
+// byte length and CRC-32C are declared up front in a fixed-shape header,
+// so a reader can validate the header in O(1) and then either mmap the
+// sections in place (MapSnapshotFile) or stream-decode them into fresh
+// allocations (ReadSnapshotFile's copying fallback). Layout
+// (little-endian):
+//
+//	magic        [8]byte  "GLYTSNAP"
+//	version      uint32   (2)
+//	flags        uint32   bit 0 directed, bit 1 weighted
+//	nameLen      uint32
+//	reserved     uint32   (zero; keeps the u64 fields 8-aligned)
+//	numVertices  uint64
+//	numEdges     uint64
+//	arcs         uint64
+//	fileSize     uint64   total file length, so truncation is caught
+//	                      before any section is touched
+//	section table: 7 × { off uint64, len uint64, crc uint32 }
+//	               for ids, outOff, outAdj, outW, inOff, inAdj, inW
+//	               (zero-length sections have off == 0, crc == 0)
+//	name         [nameLen]byte
+//	headerCRC    uint32   CRC-32C over every preceding byte
+//	<zero padding to a snapPageSize boundary>
+//	sections, each starting on a snapPageSize boundary, gaps zeroed
+//
+// The header CRC covers the section table, so a corrupt or truncated
+// header fails before any offset is trusted; section offsets and lengths
+// are additionally required to be consistent with the declared counts and
+// to lie inside fileSize, so a map-open can never slice past the mapping
+// (no SIGBUS paths). Section CRCs let the copying decoder — and
+// MapSnapshotFileVerified — check the payload; the plain map-open skips
+// them by design, which is what makes open time independent of graph
+// size.
+
+const (
+	snapshotVersion2 = 2
+
+	// snapPageSize is the section alignment. It matches the smallest page
+	// size of the supported platforms, so a section start is always
+	// page-aligned (and therefore 8-byte aligned for unsafe slicing).
+	snapPageSize = 4096
+
+	snapV2FixedBytes   = 56                      // magic .. fileSize
+	snapV2SectionCount = 7                       // ids outOff outAdj outW inOff inAdj inW
+	snapV2TableBytes   = snapV2SectionCount * 20 // off u64 + len u64 + crc u32
+	snapV2NameOff      = snapV2FixedBytes + snapV2TableBytes
+)
+
+// Section indices in the v2 table.
+const (
+	secIDs = iota
+	secOutOff
+	secOutAdj
+	secOutW
+	secInOff
+	secInAdj
+	secInW
+)
+
+// v2Section is one parsed section-table row.
+type v2Section struct {
+	off  int64
+	size int64
+	crc  uint32
+}
+
+// v2Header is the parsed (and validated) v2 header.
+type v2Header struct {
+	flags    uint32
+	name     string
+	nVerts   int64
+	numEdges int64
+	arcs     int64
+	fileSize int64
+	secs     [snapV2SectionCount]v2Section
+}
+
+func (h *v2Header) directed() bool { return h.flags&snapFlagDirected != 0 }
+func (h *v2Header) weighted() bool { return h.flags&snapFlagWeighted != 0 }
+
+// headerLen returns the byte length of the header including name and
+// trailing header CRC.
+func (h *v2Header) headerLen() int64 { return int64(snapV2NameOff + len(h.name) + 4) }
+
+// sectionSizes returns the byte length every section must have given the
+// header's counts and flags.
+func (h *v2Header) sectionSizes() [snapV2SectionCount]int64 {
+	var sz [snapV2SectionCount]int64
+	sz[secIDs] = 8 * h.nVerts
+	sz[secOutOff] = 8 * (h.nVerts + 1)
+	sz[secOutAdj] = 4 * h.arcs
+	if h.weighted() {
+		sz[secOutW] = 8 * h.arcs
+	}
+	if h.directed() {
+		sz[secInOff] = 8 * (h.nVerts + 1)
+		sz[secInAdj] = 4 * h.arcs
+		if h.weighted() {
+			sz[secInW] = 8 * h.arcs
+		}
+	}
+	return sz
+}
+
+// layout assigns ascending page-aligned offsets to every non-empty
+// section and computes fileSize. The layout is a pure function of the
+// sizes, which is what makes the v2 bytes of a graph identical no matter
+// whether they were produced by WriteSnapshotFile or by the out-of-core
+// builder.
+func (h *v2Header) layout() {
+	off := alignPage(h.headerLen())
+	sizes := h.sectionSizes()
+	for i, sz := range sizes {
+		if sz == 0 {
+			h.secs[i] = v2Section{}
+			continue
+		}
+		h.secs[i].off = off
+		h.secs[i].size = sz
+		off = alignPage(off + sz)
+	}
+	// fileSize ends at the last byte of the last non-empty section, not
+	// at the next page boundary: trailing padding would be unverifiable
+	// dead weight.
+	end := h.headerLen()
+	for _, s := range h.secs {
+		if s.size > 0 && s.off+s.size > end {
+			end = s.off + s.size
+		}
+	}
+	h.fileSize = end
+}
+
+func alignPage(off int64) int64 {
+	return (off + snapPageSize - 1) &^ (snapPageSize - 1)
+}
+
+// marshal renders the header bytes, including the trailing header CRC.
+func (h *v2Header) marshal() []byte {
+	buf := make([]byte, 0, h.headerLen())
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, snapshotVersion2)
+	buf = binary.LittleEndian.AppendUint32(buf, h.flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.name)))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // reserved
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.nVerts))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.numEdges))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.arcs))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.fileSize))
+	for _, s := range h.secs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.off))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.size))
+		buf = binary.LittleEndian.AppendUint32(buf, s.crc)
+	}
+	buf = append(buf, h.name...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	return buf
+}
+
+// parseV2Header validates and parses a complete v2 header (magic through
+// header CRC). Every failure wraps ErrBadSnapshot. On success the header
+// is internally consistent: counts are bounded, section sizes match the
+// counts, offsets are page-aligned, strictly ascending in table order,
+// non-overlapping, and every section lies inside fileSize — the
+// invariants that make the subsequent mmap slicing SIGBUS-free.
+func parseV2Header(hdr []byte) (*v2Header, error) {
+	if len(hdr) < snapV2NameOff+4 {
+		return nil, badSnapshot("v2 header truncated at %d bytes", len(hdr))
+	}
+	if string(hdr[:8]) != snapshotMagic {
+		return nil, badSnapshot("magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != snapshotVersion2 {
+		return nil, badSnapshot("version %d, want %d", v, snapshotVersion2)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[16:20])
+	if nameLen > 1<<20 {
+		return nil, badSnapshot("name length %d", nameLen)
+	}
+	want := snapV2NameOff + int(nameLen) + 4
+	if len(hdr) != want {
+		return nil, badSnapshot("v2 header length %d, want %d", len(hdr), want)
+	}
+	gotCRC := binary.LittleEndian.Uint32(hdr[want-4:])
+	if wantCRC := crc32.Checksum(hdr[:want-4], crcTable); gotCRC != wantCRC {
+		return nil, badSnapshot("header checksum %08x, want %08x", gotCRC, wantCRC)
+	}
+
+	h := &v2Header{
+		flags: binary.LittleEndian.Uint32(hdr[12:16]),
+		name:  string(hdr[snapV2NameOff : snapV2NameOff+int(nameLen)]),
+	}
+	u64 := func(off int) (int64, bool) {
+		v := binary.LittleEndian.Uint64(hdr[off : off+8])
+		return int64(v), v < 1<<62
+	}
+	var ok [4]bool
+	h.nVerts, ok[0] = u64(24)
+	h.numEdges, ok[1] = u64(32)
+	h.arcs, ok[2] = u64(40)
+	h.fileSize, ok[3] = u64(48)
+	if !ok[0] || !ok[1] || !ok[2] || !ok[3] {
+		return nil, badSnapshot("v2 header counts out of range")
+	}
+	if h.nVerts > math.MaxInt32 || h.arcs > snapshotMaxElems || h.numEdges > h.arcs {
+		return nil, badSnapshot("sizes |V|=%d |E|=%d arcs=%d", h.nVerts, h.numEdges, h.arcs)
+	}
+	if h.directed() {
+		if h.numEdges != h.arcs {
+			return nil, badSnapshot("directed |E|=%d != arcs=%d", h.numEdges, h.arcs)
+		}
+	} else if h.arcs != 2*h.numEdges {
+		return nil, badSnapshot("undirected arcs=%d != 2x|E|=%d", h.arcs, h.numEdges)
+	}
+
+	sizes := h.sectionSizes()
+	prevEnd := h.headerLen()
+	maxEnd := prevEnd
+	for i := 0; i < snapV2SectionCount; i++ {
+		off, okOff := u64(snapV2FixedBytes + 20*i)
+		size, okSize := u64(snapV2FixedBytes + 20*i + 8)
+		crc := binary.LittleEndian.Uint32(hdr[snapV2FixedBytes+20*i+16 : snapV2FixedBytes+20*i+20])
+		if !okOff || !okSize {
+			return nil, badSnapshot("section %d out of range", i)
+		}
+		if size != sizes[i] {
+			return nil, badSnapshot("section %d length %d, want %d", i, size, sizes[i])
+		}
+		if size == 0 {
+			if off != 0 || crc != 0 {
+				return nil, badSnapshot("empty section %d has off=%d crc=%08x", i, off, crc)
+			}
+			h.secs[i] = v2Section{}
+			continue
+		}
+		if off%snapPageSize != 0 {
+			return nil, badSnapshot("section %d offset %d not page-aligned", i, off)
+		}
+		if off < prevEnd {
+			return nil, badSnapshot("section %d offset %d overlaps previous end %d", i, off, prevEnd)
+		}
+		if off+size > h.fileSize {
+			return nil, badSnapshot("section %d [%d, %d) beyond file size %d", i, off, off+size, h.fileSize)
+		}
+		h.secs[i] = v2Section{off: off, size: size, crc: crc}
+		prevEnd = off + size
+		if prevEnd > maxEnd {
+			maxEnd = prevEnd
+		}
+	}
+	if h.fileSize != maxEnd {
+		return nil, badSnapshot("file size %d, sections end at %d", h.fileSize, maxEnd)
+	}
+	return h, nil
+}
+
+// headerFromGraph derives the v2 header (with layout) for a graph.
+func headerFromGraph(g *Graph) *v2Header {
+	h := &v2Header{
+		name:     g.name,
+		nVerts:   int64(len(g.ids)),
+		numEdges: g.numEdges,
+		arcs:     int64(len(g.outAdj)),
+	}
+	if g.directed {
+		h.flags |= snapFlagDirected
+	}
+	if g.weighted {
+		h.flags |= snapFlagWeighted
+	}
+	h.layout()
+	return h
+}
+
+// crcWriter computes a running CRC-32C over everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crcTable, p)
+	return c.w.Write(p)
+}
+
+// v2SectionSource emits one section's payload bytes; size must match what
+// emit writes exactly.
+type v2SectionSource struct {
+	size int64
+	emit func(io.Writer) error
+}
+
+// writeSnapshotV2 writes a complete v2 snapshot to f (which must be empty
+// and seekable): a zeroed header region, the page-aligned sections with
+// their CRCs computed as they stream through, then the finished header
+// patched in at offset 0. It does not sync or close f.
+func writeSnapshotV2(f *os.File, h *v2Header, sections [snapV2SectionCount]v2SectionSource) error {
+	for i := range sections {
+		if sections[i].size != h.secs[i].size {
+			return fmt.Errorf("graph: encode snapshot v2: section %d source size %d, want %d",
+				i, sections[i].size, h.secs[i].size)
+		}
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	pos, err := writeZeros(bw, 0, h.headerLen())
+	if err != nil {
+		return err
+	}
+	for i := range sections {
+		if h.secs[i].size == 0 {
+			continue
+		}
+		if pos, err = writeZeros(bw, pos, h.secs[i].off); err != nil {
+			return err
+		}
+		cw := &crcWriter{w: bw}
+		if err := sections[i].emit(cw); err != nil {
+			return fmt.Errorf("graph: encode snapshot v2: section %d: %w", i, err)
+		}
+		h.secs[i].crc = cw.crc
+		pos += h.secs[i].size
+	}
+	if pos != h.fileSize {
+		return fmt.Errorf("graph: encode snapshot v2: wrote %d bytes, want %d", pos, h.fileSize)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: encode snapshot v2: %w", err)
+	}
+	if _, err := f.WriteAt(h.marshal(), 0); err != nil {
+		return fmt.Errorf("graph: encode snapshot v2: header: %w", err)
+	}
+	return nil
+}
+
+// writeZeros pads from pos to target and returns the new position.
+func writeZeros(w io.Writer, pos, target int64) (int64, error) {
+	var zeros [snapPageSize]byte
+	for pos < target {
+		n := min(int64(len(zeros)), target-pos)
+		if _, err := w.Write(zeros[:n]); err != nil {
+			return pos, fmt.Errorf("graph: encode snapshot v2: %w", err)
+		}
+		pos += n
+	}
+	return pos, nil
+}
+
+// graphSections builds the section sources for an in-memory graph.
+func graphSections(g *Graph, h *v2Header) [snapV2SectionCount]v2SectionSource {
+	var secs [snapV2SectionCount]v2SectionSource
+	int64Sec := func(a []int64) v2SectionSource {
+		return v2SectionSource{size: 8 * int64(len(a)), emit: func(w io.Writer) error { return writeInt64s(w, a) }}
+	}
+	int32Sec := func(a []int32) v2SectionSource {
+		return v2SectionSource{size: 4 * int64(len(a)), emit: func(w io.Writer) error { return writeInt32s(w, a) }}
+	}
+	floatSec := func(a []float64) v2SectionSource {
+		return v2SectionSource{size: 8 * int64(len(a)), emit: func(w io.Writer) error { return writeFloat64s(w, a) }}
+	}
+	secs[secIDs] = int64Sec(g.ids)
+	secs[secOutOff] = int64Sec(g.outOff)
+	secs[secOutAdj] = int32Sec(g.outAdj)
+	if h.weighted() {
+		secs[secOutW] = floatSec(g.outW)
+	}
+	if h.directed() {
+		secs[secInOff] = int64Sec(g.inOff)
+		secs[secInAdj] = int32Sec(g.inAdj)
+		if h.weighted() {
+			secs[secInW] = floatSec(g.inW)
+		}
+	}
+	return secs
+}
+
+// installSnapshot writes a snapshot into path atomically: build writes the
+// content into a temp file in the same directory, which is then fsynced
+// and renamed into place so readers never observe a partial snapshot.
+func installSnapshot(path string, build func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("graph: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := build(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("graph: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("graph: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("graph: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// decodeSnapshotV2Stream is the copying v2 decoder behind
+// DecodeSnapshot/ReadSnapshotFile: it streams the sections into fresh
+// heap allocations, verifying the header CRC, every section CRC and the
+// structural shape — the full-trust path v1 always had, available for v2
+// files on any platform (mmap or not).
+func decodeSnapshotV2Stream(raw *bufio.Reader) (*Graph, error) {
+	var fixed [snapV2NameOff]byte
+	if _, err := io.ReadFull(raw, fixed[:]); err != nil {
+		return nil, badSnapshot("reading v2 header: %v", err)
+	}
+	nameLen := binary.LittleEndian.Uint32(fixed[16:20])
+	if nameLen > 1<<20 {
+		return nil, badSnapshot("name length %d", nameLen)
+	}
+	hdr := make([]byte, snapV2NameOff+int(nameLen)+4)
+	copy(hdr, fixed[:])
+	if _, err := io.ReadFull(raw, hdr[snapV2NameOff:]); err != nil {
+		return nil, badSnapshot("reading v2 header: %v", err)
+	}
+	h, err := parseV2Header(hdr)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Graph{
+		name:     h.name,
+		directed: h.directed(),
+		weighted: h.weighted(),
+		numEdges: h.numEdges,
+	}
+	pos := h.headerLen()
+	section := func(i int) (*crcReader, error) {
+		// Alignment padding must be zero: it is the one region no section
+		// CRC covers, and the determinism contract says a graph has
+		// exactly one v2 byte representation.
+		for pad := h.secs[i].off - pos; pad > 0; {
+			var buf [snapPageSize]byte
+			n := min(pad, int64(len(buf)))
+			if _, err := io.ReadFull(raw, buf[:n]); err != nil {
+				return nil, badSnapshot("section %d padding: %v", i, err)
+			}
+			if !allZero(buf[:n]) {
+				return nil, badSnapshot("nonzero padding before section %d", i)
+			}
+			pad -= n
+		}
+		pos = h.secs[i].off + h.secs[i].size
+		return &crcReader{r: raw}, nil
+	}
+	finish := func(i int, cr *crcReader) error {
+		if cr.crc != h.secs[i].crc {
+			return badSnapshot("section %d checksum %08x, want %08x", i, cr.crc, h.secs[i].crc)
+		}
+		return nil
+	}
+	readI64 := func(i int, n int64) ([]int64, error) {
+		cr, err := section(i)
+		if err != nil {
+			return nil, err
+		}
+		a, err := readInt64s(cr, int(n))
+		if err != nil {
+			return nil, err
+		}
+		return a, finish(i, cr)
+	}
+	readI32 := func(i int, n int64) ([]int32, error) {
+		cr, err := section(i)
+		if err != nil {
+			return nil, err
+		}
+		a, err := readInt32s(cr, int(n))
+		if err != nil {
+			return nil, err
+		}
+		return a, finish(i, cr)
+	}
+	readF64 := func(i int, n int64) ([]float64, error) {
+		cr, err := section(i)
+		if err != nil {
+			return nil, err
+		}
+		a, err := readFloat64s(cr, int(n))
+		if err != nil {
+			return nil, err
+		}
+		return a, finish(i, cr)
+	}
+
+	if g.ids, err = readI64(secIDs, h.nVerts); err != nil {
+		return nil, err
+	}
+	if g.outOff, err = readI64(secOutOff, h.nVerts+1); err != nil {
+		return nil, err
+	}
+	if g.outAdj, err = readI32(secOutAdj, h.arcs); err != nil {
+		return nil, err
+	}
+	if g.weighted {
+		if g.outW, err = readF64(secOutW, h.arcs); err != nil {
+			return nil, err
+		}
+	}
+	if g.directed {
+		if g.inOff, err = readI64(secInOff, h.nVerts+1); err != nil {
+			return nil, err
+		}
+		if g.inAdj, err = readI32(secInAdj, h.arcs); err != nil {
+			return nil, err
+		}
+		if g.weighted {
+			if g.inW, err = readF64(secInW, h.arcs); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
+	}
+	if err := g.checkShape(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// crcReader computes a running CRC-32C over everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crcTable, p[:n])
+	return n, err
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

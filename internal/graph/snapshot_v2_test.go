@@ -1,0 +1,190 @@
+package graph_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphalytics/internal/graph"
+)
+
+// writeV2Fixture writes a fixture graph as a v2 snapshot file.
+func writeV2Fixture(t *testing.T, directed, weighted bool) (string, *graph.Graph) {
+	t.Helper()
+	want := snapshotFixture(t, directed, weighted)
+	path := filepath.Join(t.TempDir(), "g.snap")
+	if err := graph.WriteSnapshotFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	return path, want
+}
+
+func TestSnapshotV2FileRoundTrip(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		for _, weighted := range []bool{true, false} {
+			path, want := writeV2Fixture(t, directed, weighted)
+			got, err := graph.ReadSnapshotFile(path)
+			if err != nil {
+				t.Fatalf("directed=%v weighted=%v: %v", directed, weighted, err)
+			}
+			if got.Mapped() {
+				t.Fatal("ReadSnapshotFile returned a mapped graph")
+			}
+			assertGraphsEqual(t, got, want)
+		}
+	}
+}
+
+// Both format versions must load through the same entry point: v2 is what
+// WriteSnapshotFile produces now, v1 is what older builds left in cache
+// directories.
+func TestSnapshotBothVersionsReadable(t *testing.T) {
+	want := snapshotFixture(t, true, true)
+	dir := t.TempDir()
+
+	v1 := filepath.Join(dir, "v1.snap")
+	if err := graph.WriteSnapshotFileV1(v1, want); err != nil {
+		t.Fatal(err)
+	}
+	v2 := filepath.Join(dir, "v2.snap")
+	if err := graph.WriteSnapshotFile(v2, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{v1, v2} {
+		got, err := graph.ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", filepath.Base(path), err)
+		}
+		assertGraphsEqual(t, got, want)
+	}
+	// v1 files are not mappable; the caller's contract is to fall back to
+	// the copying decoder on any MapSnapshotFile error.
+	if _, err := graph.MapSnapshotFile(v1); !errors.Is(err, graph.ErrBadSnapshot) {
+		t.Fatalf("MapSnapshotFile(v1): err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestSnapshotV2EmptyGraph(t *testing.T) {
+	b := graph.NewBuilder(false, false)
+	b.AddVertex(42)
+	want, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.snap")
+	if err := graph.WriteSnapshotFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, got, want)
+}
+
+// Truncations anywhere — mid-header, mid-section, one byte short — must
+// fail cleanly with ErrBadSnapshot from both the copying decoder and the
+// map-open path. MapSnapshotFile in particular must reject the file
+// during header validation, before any mmap slice escapes: this is the
+// no-SIGBUS guarantee.
+func TestSnapshotV2TruncatedIsBadSnapshot(t *testing.T) {
+	path, _ := writeV2Fixture(t, true, true)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, n := range []int{0, 4, 11, 40, 150, 4096, len(full) / 2, len(full) - 1} {
+		if n > len(full) {
+			continue
+		}
+		trunc := filepath.Join(dir, "trunc.snap")
+		if err := os.WriteFile(trunc, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := graph.ReadSnapshotFile(trunc); !errors.Is(err, graph.ErrBadSnapshot) {
+			t.Errorf("read truncated at %d: err = %v, want ErrBadSnapshot", n, err)
+		}
+		if g, err := graph.MapSnapshotFile(trunc); !errors.Is(err, graph.ErrBadSnapshot) {
+			if g != nil {
+				g.Close()
+			}
+			t.Errorf("map truncated at %d: err = %v, want ErrBadSnapshot", n, err)
+		}
+	}
+}
+
+// Bit flips in the header fail both open paths; flips in section payloads
+// fail the copying decoder and MapSnapshotFileVerified (the plain
+// map-open intentionally skips payload CRCs).
+func TestSnapshotV2CorruptIsBadSnapshot(t *testing.T) {
+	path, _ := writeV2Fixture(t, false, true)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mutate := func(off int) string {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x10
+		p := filepath.Join(dir, "mut.snap")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Header offsets: magic, version, flags, counts, section table.
+	for _, off := range []int{0, 9, 13, 25, 60, 100, 190} {
+		p := mutate(off)
+		if _, err := graph.ReadSnapshotFile(p); !errors.Is(err, graph.ErrBadSnapshot) {
+			t.Errorf("read with header flip at %d: err = %v, want ErrBadSnapshot", off, err)
+		}
+		if g, err := graph.MapSnapshotFile(p); !errors.Is(err, graph.ErrBadSnapshot) {
+			if g != nil {
+				g.Close()
+			}
+			t.Errorf("map with header flip at %d: err = %v, want ErrBadSnapshot", off, err)
+		}
+	}
+	// Payload offsets: inside the page-aligned sections.
+	for _, off := range []int{4096, len(full)/2 | 1, len(full) - 2} {
+		p := mutate(off)
+		if _, err := graph.ReadSnapshotFile(p); !errors.Is(err, graph.ErrBadSnapshot) {
+			t.Errorf("read with payload flip at %d: err = %v, want ErrBadSnapshot", off, err)
+		}
+		if g, err := graph.MapSnapshotFileVerified(p); !errors.Is(err, graph.ErrBadSnapshot) {
+			if g != nil {
+				g.Close()
+			}
+			t.Errorf("verified map with payload flip at %d: err = %v, want ErrBadSnapshot", off, err)
+		}
+	}
+}
+
+// A graph written twice must produce identical bytes: the v2 layout is a
+// pure function of the graph, which the builder-equivalence CRC tests
+// depend on.
+func TestSnapshotV2Deterministic(t *testing.T) {
+	want := snapshotFixture(t, true, true)
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.snap"), filepath.Join(dir, "b.snap")
+	if err := graph.WriteSnapshotFile(a, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteSnapshotFile(b, want); err != nil {
+		t.Fatal(err)
+	}
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("two writes of the same graph differ")
+	}
+}

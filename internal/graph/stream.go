@@ -1,0 +1,631 @@
+package graph
+
+import (
+	"bufio"
+	"cmp"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"slices"
+
+	"graphalytics/internal/par"
+)
+
+// Out-of-core build path. A spill-configured Builder never holds the full
+// edge list: AddEdge appends 32-byte arc records to a bounded in-memory
+// buffer that is sorted (in parallel) and spilled to a temp run file
+// whenever it fills, and BuildTo k-way-merges the sorted runs directly
+// into the page-aligned v2 CSR sections on disk. Peak memory is
+// O(BudgetBytes + |V|): the identifier table and offset arrays stay in
+// RAM, the arcs never do.
+//
+// Determinism: every arc carries seq, its global edge-insertion index.
+// Runs are sorted by (key, seq); (key, seq) pairs are unique (self-loops
+// never spill), so the merge order is a total order independent of run
+// boundaries, worker counts and scheduling. Within a destination vertex
+// the merge yields arcs in insertion order — exactly the order the
+// in-memory counting sort produces before its per-vertex sort — and the
+// same per-vertex (neighbor, seq) sort plus first-occurrence dedup runs
+// on top. BuildTo output is therefore byte-identical to
+// Build + WriteSnapshotFile, which the equivalence tests assert by CRC.
+
+// SpillOptions configure the out-of-core build path; see Builder.SetSpill.
+type SpillOptions struct {
+	// Dir is where spill runs and section scratch files live. A private
+	// subdirectory is created under it (or under the OS temp dir when
+	// empty) and removed when BuildTo finishes.
+	Dir string
+	// BudgetBytes bounds the in-memory arc buffer. <= 0 selects the
+	// default (128 MiB); tiny values are clamped to one page of records.
+	BudgetBytes int64
+	// Workers pins the worker count for run sorting; <= 0 means auto.
+	// Output bytes are identical at any worker count.
+	Workers int
+}
+
+const (
+	arcRecBytes         = 32
+	defaultSpillBudget  = 128 << 20
+	minSpillBudgetRecs  = 128
+	spillRunBufferBytes = 1 << 18
+)
+
+// arcRec is one directed arc tagged with its global insertion index.
+type arcRec struct {
+	key int64 // grouping vertex (external id)
+	val int64 // neighbor (external id)
+	seq uint64
+	w   float64
+}
+
+func cmpArc(a, b arcRec) int {
+	if a.key != b.key {
+		return cmp.Compare(a.key, b.key)
+	}
+	return cmp.Compare(a.seq, b.seq)
+}
+
+// spool is one arc stream (out-arcs; directed graphs keep a second one
+// keyed by destination for the in-CSR).
+type spool struct {
+	buf  []arcRec
+	runs []string
+}
+
+type spillState struct {
+	opts       SpillOptions
+	dir        string // private scratch dir, created lazily
+	budgetRecs int
+	out, in    spool
+	seq        uint64
+	err        error
+}
+
+// SetSpill switches the builder to the out-of-core path: subsequent
+// AddEdge calls stream through bounded spill runs and the graph is
+// produced by BuildTo instead of Build. Must be called before any edge is
+// added.
+func (b *Builder) SetSpill(opts SpillOptions) *Builder {
+	if len(b.edges) > 0 {
+		panic("graph: SetSpill after AddEdge")
+	}
+	if opts.BudgetBytes <= 0 {
+		opts.BudgetBytes = defaultSpillBudget
+	}
+	recs := int(opts.BudgetBytes / arcRecBytes)
+	if recs < minSpillBudgetRecs {
+		recs = minSpillBudgetRecs
+	}
+	b.spill = &spillState{opts: opts, budgetRecs: recs}
+	return b
+}
+
+// Spilling reports whether the builder is on the out-of-core path.
+func (b *Builder) Spilling() bool { return b.spill != nil }
+
+func (sp *spillState) ensureDir() error {
+	if sp.dir != "" {
+		return nil
+	}
+	dir, err := os.MkdirTemp(sp.opts.Dir, "graph-spill-*")
+	if err != nil {
+		return fmt.Errorf("graph: spill dir: %w", err)
+	}
+	sp.dir = dir
+	return nil
+}
+
+func (sp *spillState) cleanup() {
+	if sp.dir != "" {
+		os.RemoveAll(sp.dir)
+		sp.dir = ""
+	}
+}
+
+// spillAdd is the AddEdge path for spill-configured builders. It mirrors
+// the in-memory semantics exactly: self-loops error (or are dropped, with
+// the endpoint still registered as a vertex — collectIDs would have seen
+// it), and every edge consumes one seq so arc order matches edge order.
+func (b *Builder) spillAdd(src, dst int64, w float64) {
+	sp := b.spill
+	if sp.err != nil {
+		return
+	}
+	seq := sp.seq
+	sp.seq++
+	if src == dst {
+		if !b.opts.DropSelfLoops {
+			sp.err = fmt.Errorf("%w: vertex %d", ErrSelfLoop, src)
+			return
+		}
+		b.vertices = append(b.vertices, src)
+		return
+	}
+	if !b.weighted {
+		w = 0
+	}
+	if b.directed {
+		sp.out.buf = append(sp.out.buf, arcRec{key: src, val: dst, seq: seq, w: w})
+		sp.in.buf = append(sp.in.buf, arcRec{key: dst, val: src, seq: seq, w: w})
+		if len(sp.out.buf) >= sp.budgetRecs/2 {
+			sp.err = sp.flushBoth()
+		}
+	} else {
+		sp.out.buf = append(sp.out.buf, arcRec{key: src, val: dst, seq: seq, w: w},
+			arcRec{key: dst, val: src, seq: seq, w: w})
+		if len(sp.out.buf) >= sp.budgetRecs {
+			sp.err = sp.flush(&sp.out)
+		}
+	}
+}
+
+func (sp *spillState) flushBoth() error {
+	if err := sp.flush(&sp.out); err != nil {
+		return err
+	}
+	return sp.flush(&sp.in)
+}
+
+// flush sorts the spool's buffer by (key, seq) and writes it as one run
+// file. Sorting is chunk-parallel with a deterministic streaming merge on
+// the way out, so worker count never shows in the bytes.
+func (sp *spillState) flush(s *spool) error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if err := sp.ensureDir(); err != nil {
+		return err
+	}
+	n := len(s.buf)
+	p := par.Resolve(sp.opts.Workers, n)
+	if p > n {
+		p = n
+	}
+	par.Chunks(n, p, func(w, lo, hi int) {
+		slices.SortFunc(s.buf[lo:hi], cmpArc)
+	})
+
+	f, err := os.CreateTemp(sp.dir, "run-*")
+	if err != nil {
+		return fmt.Errorf("graph: spill run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, spillRunBufferBytes)
+	var rec [arcRecBytes]byte
+	writeRec := func(r arcRec) error {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(r.key))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(r.val))
+		binary.LittleEndian.PutUint64(rec[16:], r.seq)
+		binary.LittleEndian.PutUint64(rec[24:], math.Float64bits(r.w))
+		_, err := bw.Write(rec[:])
+		return err
+	}
+	// Stream the sorted chunks out in merged order: a linear scan over at
+	// most p cursors per record, no scratch copy of the buffer.
+	cursors := make([][2]int, 0, p)
+	for w := 0; w < p; w++ {
+		lo, hi := par.ChunkRange(n, p, w)
+		if lo < hi {
+			cursors = append(cursors, [2]int{lo, hi})
+		}
+	}
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c[0] >= c[1] {
+				continue
+			}
+			if best < 0 || cmpArc(s.buf[c[0]], s.buf[cursors[best][0]]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := writeRec(s.buf[cursors[best][0]]); err != nil {
+			f.Close()
+			return fmt.Errorf("graph: spill run: %w", err)
+		}
+		cursors[best][0]++
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: spill run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("graph: spill run: %w", err)
+	}
+	s.runs = append(s.runs, f.Name())
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// runReader streams one sorted run file.
+type runReader struct {
+	f   *os.File
+	br  *bufio.Reader
+	cur arcRec
+}
+
+func openRun(path string) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: spill run: %w", err)
+	}
+	return &runReader{f: f, br: bufio.NewReaderSize(f, spillRunBufferBytes)}, nil
+}
+
+// next advances to the following record; ok is false at end of run.
+func (r *runReader) next() (ok bool, err error) {
+	var rec [arcRecBytes]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.EOF {
+			return false, nil
+		}
+		return false, fmt.Errorf("graph: spill run: %w", err)
+	}
+	r.cur = arcRec{
+		key: int64(binary.LittleEndian.Uint64(rec[0:])),
+		val: int64(binary.LittleEndian.Uint64(rec[8:])),
+		seq: binary.LittleEndian.Uint64(rec[16:]),
+		w:   math.Float64frombits(binary.LittleEndian.Uint64(rec[24:])),
+	}
+	return true, nil
+}
+
+func (r *runReader) close() { r.f.Close() }
+
+// kway merges sorted runs by (key, seq) with a binary heap. (key, seq)
+// uniqueness across runs makes the pop order a total order.
+type kway struct {
+	rs []*runReader
+}
+
+func newKWay(paths []string) (*kway, error) {
+	k := &kway{}
+	for _, p := range paths {
+		r, err := openRun(p)
+		if err != nil {
+			k.close()
+			return nil, err
+		}
+		ok, err := r.next()
+		if err != nil {
+			r.close()
+			k.close()
+			return nil, err
+		}
+		if !ok {
+			r.close()
+			continue
+		}
+		k.rs = append(k.rs, r)
+	}
+	for i := len(k.rs)/2 - 1; i >= 0; i-- {
+		k.siftDown(i)
+	}
+	return k, nil
+}
+
+func (k *kway) close() {
+	for _, r := range k.rs {
+		r.close()
+	}
+	k.rs = nil
+}
+
+func (k *kway) empty() bool { return len(k.rs) == 0 }
+
+func (k *kway) less(i, j int) bool {
+	return cmpArc(k.rs[i].cur, k.rs[j].cur) < 0
+}
+
+// pop returns the smallest record and advances its run.
+func (k *kway) pop() (arcRec, error) {
+	rec := k.rs[0].cur
+	ok, err := k.rs[0].next()
+	if err != nil {
+		return arcRec{}, err
+	}
+	if !ok {
+		k.rs[0].close()
+		last := len(k.rs) - 1
+		k.rs[0] = k.rs[last]
+		k.rs = k.rs[:last]
+	}
+	if len(k.rs) > 0 {
+		k.siftDown(0)
+	}
+	return rec, nil
+}
+
+func (k *kway) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(k.rs) && k.less(l, m) {
+			m = l
+		}
+		if r < len(k.rs) && k.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		k.rs[i], k.rs[m] = k.rs[m], k.rs[i]
+		i = m
+	}
+}
+
+// spillIDs produces the sorted distinct identifier table from explicit
+// vertices plus every spilled arc key (every endpoint of every surviving
+// edge appears as a key in some spool).
+func (b *Builder) spillIDs() ([]int64, error) {
+	vs := par.SortInt64s(append([]int64(nil), b.vertices...))
+	m, err := newKWay(append(append([]string(nil), b.spill.out.runs...), b.spill.in.runs...))
+	if err != nil {
+		return nil, err
+	}
+	defer m.close()
+	var ids []int64
+	vi := 0
+	emit := func(id int64) {
+		if len(ids) == 0 || ids[len(ids)-1] != id {
+			ids = append(ids, id)
+		}
+	}
+	for !m.empty() {
+		rec, err := m.pop()
+		if err != nil {
+			return nil, err
+		}
+		for vi < len(vs) && vs[vi] <= rec.key {
+			emit(vs[vi])
+			vi++
+		}
+		emit(rec.key)
+	}
+	for ; vi < len(vs); vi++ {
+		emit(vs[vi])
+	}
+	if int64(len(ids)) > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: %d vertices exceed int32 index space", len(ids))
+	}
+	return ids, nil
+}
+
+// arcSlot is one arc of the vertex group currently being merged.
+type arcSlot struct {
+	val int32
+	seq uint64
+	w   float64
+}
+
+// csrScratch is one merged adjacency direction: the offsets stay in
+// memory, the neighbor and weight payloads stream to scratch files (the
+// section CRCs are computed when the scratch bytes are copied into the
+// final snapshot).
+type csrScratch struct {
+	off     []int64
+	adjPath string
+	wPath   string
+	arcs    int64
+}
+
+// mergeSpool merges one spool's runs into CSR form. Arc values are
+// translated to internal indices, each vertex group is sorted by
+// (neighbor, seq) and deduplicated keeping the first occurrence —
+// byte-for-byte the in-memory buildCSR semantics.
+func (b *Builder) mergeSpool(ids []int64, runs []string) (*csrScratch, error) {
+	sp := b.spill
+	cs := &csrScratch{off: make([]int64, len(ids)+1)}
+
+	adjF, err := os.CreateTemp(sp.dir, "adj-*")
+	if err != nil {
+		return nil, fmt.Errorf("graph: spill merge: %w", err)
+	}
+	defer adjF.Close()
+	cs.adjPath = adjF.Name()
+	adjW := bufio.NewWriterSize(adjF, spillRunBufferBytes)
+	var wF *os.File
+	var wW *bufio.Writer
+	if b.weighted {
+		if wF, err = os.CreateTemp(sp.dir, "wgt-*"); err != nil {
+			return nil, fmt.Errorf("graph: spill merge: %w", err)
+		}
+		defer wF.Close()
+		cs.wPath = wF.Name()
+		wW = bufio.NewWriterSize(wF, spillRunBufferBytes)
+	}
+
+	m, err := newKWay(runs)
+	if err != nil {
+		return nil, err
+	}
+	defer m.close()
+
+	group := make([]arcSlot, 0, 1024)
+	var buf [8]byte
+	vcur := 0
+	flush := func(key int64) error {
+		if len(group) == 0 {
+			return nil
+		}
+		// Keys arrive ascending, so the vertex cursor only moves forward;
+		// every key is an endpoint, hence present in ids.
+		for ids[vcur] != key {
+			vcur++
+		}
+		slices.SortFunc(group, func(a, c arcSlot) int {
+			if a.val != c.val {
+				return cmp.Compare(a.val, c.val)
+			}
+			return cmp.Compare(a.seq, c.seq)
+		})
+		kept := int64(0)
+		for i, s := range group {
+			if i > 0 && s.val == group[i-1].val {
+				if !b.opts.DedupEdges {
+					a, c := key, ids[s.val]
+					if !b.directed && a > c {
+						a, c = c, a
+					}
+					return fmt.Errorf("%w: (%d, %d)", ErrDuplicateEdge, a, c)
+				}
+				continue
+			}
+			binary.LittleEndian.PutUint32(buf[:4], uint32(s.val))
+			if _, err := adjW.Write(buf[:4]); err != nil {
+				return fmt.Errorf("graph: spill merge: %w", err)
+			}
+			if wW != nil {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s.w))
+				if _, err := wW.Write(buf[:]); err != nil {
+					return fmt.Errorf("graph: spill merge: %w", err)
+				}
+			}
+			kept++
+		}
+		cs.off[vcur+1] = kept
+		cs.arcs += kept
+		group = group[:0]
+		return nil
+	}
+
+	curKey := int64(0)
+	for !m.empty() {
+		rec, err := m.pop()
+		if err != nil {
+			return nil, err
+		}
+		if len(group) > 0 && rec.key != curKey {
+			if err := flush(curKey); err != nil {
+				return nil, err
+			}
+		}
+		curKey = rec.key
+		v, ok := slices.BinarySearch(ids, rec.val)
+		if !ok {
+			return nil, fmt.Errorf("graph: spill merge: arc value %d missing from identifier table", rec.val)
+		}
+		group = append(group, arcSlot{val: int32(v), seq: rec.seq, w: rec.w})
+	}
+	if err := flush(curKey); err != nil {
+		return nil, err
+	}
+
+	for v := 0; v < len(ids); v++ {
+		cs.off[v+1] += cs.off[v]
+	}
+	if err := adjW.Flush(); err != nil {
+		return nil, fmt.Errorf("graph: spill merge: %w", err)
+	}
+	if wW != nil {
+		if err := wW.Flush(); err != nil {
+			return nil, fmt.Errorf("graph: spill merge: %w", err)
+		}
+	}
+	return cs, nil
+}
+
+// fileSection adapts a scratch file into a v2 section source.
+func fileSection(path string, size int64) v2SectionSource {
+	return v2SectionSource{size: size, emit: func(w io.Writer) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := io.Copy(w, f)
+		if err != nil {
+			return err
+		}
+		if n != size {
+			return fmt.Errorf("scratch section %s is %d bytes, want %d", path, n, size)
+		}
+		return nil
+	}}
+}
+
+// BuildTo builds the graph directly into a v2 snapshot at path. For a
+// spill-configured builder this is the out-of-core path: flush the
+// remaining buffers, derive the identifier table, merge each spool into
+// CSR scratch files, and compose the final page-aligned snapshot — all
+// without ever materializing the arc arrays in memory. The output is
+// byte-identical to Build + WriteSnapshotFile. Builders without spill
+// configured simply build in memory and write the snapshot.
+//
+// The builder must not be reused after BuildTo.
+func (b *Builder) BuildTo(path string) error {
+	if b.spill == nil {
+		g, err := b.Build()
+		if err != nil {
+			return err
+		}
+		return WriteSnapshotFile(path, g)
+	}
+	sp := b.spill
+	defer sp.cleanup()
+	if sp.err != nil {
+		return sp.err
+	}
+	if err := sp.flushBoth(); err != nil {
+		return err
+	}
+	if err := sp.ensureDir(); err != nil { // no edges at all still needs scratch space
+		return err
+	}
+
+	ids, err := b.spillIDs()
+	if err != nil {
+		return err
+	}
+	out, err := b.mergeSpool(ids, sp.out.runs)
+	if err != nil {
+		return err
+	}
+	var in *csrScratch
+	if b.directed {
+		if in, err = b.mergeSpool(ids, sp.in.runs); err != nil {
+			return err
+		}
+	}
+
+	h := &v2Header{
+		name:   b.name,
+		nVerts: int64(len(ids)),
+		arcs:   out.arcs,
+	}
+	if b.directed {
+		h.flags |= snapFlagDirected
+		h.numEdges = out.arcs
+	} else {
+		h.numEdges = out.arcs / 2
+	}
+	if b.weighted {
+		h.flags |= snapFlagWeighted
+	}
+	h.layout()
+
+	var secs [snapV2SectionCount]v2SectionSource
+	int64Sec := func(a []int64) v2SectionSource {
+		return v2SectionSource{size: 8 * int64(len(a)), emit: func(w io.Writer) error { return writeInt64s(w, a) }}
+	}
+	secs[secIDs] = int64Sec(ids)
+	secs[secOutOff] = int64Sec(out.off)
+	secs[secOutAdj] = fileSection(out.adjPath, 4*out.arcs)
+	if b.weighted {
+		secs[secOutW] = fileSection(out.wPath, 8*out.arcs)
+	}
+	if b.directed {
+		secs[secInOff] = int64Sec(in.off)
+		secs[secInAdj] = fileSection(in.adjPath, 4*in.arcs)
+		if b.weighted {
+			secs[secInW] = fileSection(in.wPath, 8*in.arcs)
+		}
+	}
+	return installSnapshot(path, func(f *os.File) error {
+		return writeSnapshotV2(f, h, secs)
+	})
+}

@@ -1,0 +1,214 @@
+package graph_test
+
+import (
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphalytics/internal/graph"
+)
+
+// feedFixture drives the same deterministic edge stream into any builder.
+func feedFixture(b *graph.Builder, edges int, weighted bool) {
+	rng := rand.New(rand.NewSource(977))
+	b.SetName("stream-fixture")
+	b.AddVertex(5)
+	b.AddVertex(1 << 40) // isolated
+	for i := 0; i < edges; i++ {
+		src, dst := rng.Int63n(400)*3, rng.Int63n(400)*3
+		if weighted {
+			b.AddWeightedEdge(src, dst, float64(i%97)/7)
+		} else {
+			b.AddEdge(src, dst)
+		}
+	}
+}
+
+func fileCRC(t *testing.T, path string) uint32 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return crc32.ChecksumIEEE(data)
+}
+
+// The tentpole determinism claim: BuildTo through spilled runs produces a
+// byte-identical snapshot to the in-memory Build + WriteSnapshotFile, at
+// any worker count and any spill budget. The tiny budgets force many
+// runs, exercising the k-way merge hard.
+func TestBuildToMatchesInMemoryBuild(t *testing.T) {
+	const edges = 6000
+	for _, directed := range []bool{true, false} {
+		for _, weighted := range []bool{true, false} {
+			// Reference: in-memory build, written as v2.
+			ref := graph.NewBuilder(directed, weighted)
+			ref.SetOptions(graph.BuildOptions{DedupEdges: true, DropSelfLoops: true})
+			feedFixture(ref, edges, weighted)
+			want, err := ref.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			refPath := filepath.Join(dir, "ref.snap")
+			if err := graph.WriteSnapshotFile(refPath, want); err != nil {
+				t.Fatal(err)
+			}
+			wantCRC := fileCRC(t, refPath)
+
+			for _, workers := range []int{1, 2, 8} {
+				for _, budget := range []int64{1 << 12, 1 << 14, 1 << 20} {
+					b := graph.NewBuilder(directed, weighted)
+					b.SetOptions(graph.BuildOptions{DedupEdges: true, DropSelfLoops: true})
+					b.SetSpill(graph.SpillOptions{Dir: dir, BudgetBytes: budget, Workers: workers})
+					feedFixture(b, edges, weighted)
+					got := filepath.Join(dir, "got.snap")
+					if err := b.BuildTo(got); err != nil {
+						t.Fatalf("directed=%v weighted=%v workers=%d budget=%d: %v",
+							directed, weighted, workers, budget, err)
+					}
+					if crc := fileCRC(t, got); crc != wantCRC {
+						t.Fatalf("directed=%v weighted=%v workers=%d budget=%d: snapshot CRC %08x, want %08x",
+							directed, weighted, workers, budget, crc, wantCRC)
+					}
+					g, err := graph.ReadSnapshotFile(got)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertGraphsEqual(t, g, want)
+				}
+			}
+		}
+	}
+}
+
+// A 4 KiB budget over 6000 edges spills dozens of runs; the spill path
+// must actually be taken (no silent fall-back to in-memory building).
+func TestBuildToSpillsMultipleRuns(t *testing.T) {
+	b := graph.NewBuilder(false, true)
+	b.SetOptions(graph.BuildOptions{DedupEdges: true, DropSelfLoops: true})
+	b.SetSpill(graph.SpillOptions{BudgetBytes: 1 << 12})
+	if !b.Spilling() {
+		t.Fatal("builder not on the spill path")
+	}
+	feedFixture(b, 6000, true)
+	// 6000 undirected edges = 12000 arc records of 32 bytes = 375 KiB of
+	// records against a 4 KiB buffer: at least 3 runs is guaranteed by
+	// arithmetic, in practice ~94.
+	if err := b.BuildTo(filepath.Join(t.TempDir(), "g.snap")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildToWithoutSpillEqualsBuild(t *testing.T) {
+	mk := func() *graph.Builder {
+		b := graph.NewBuilder(true, true)
+		b.SetOptions(graph.BuildOptions{DedupEdges: true, DropSelfLoops: true})
+		feedFixture(b, 2000, true)
+		return b
+	}
+	want, err := mk().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.snap")
+	if err := graph.WriteSnapshotFile(refPath, want); err != nil {
+		t.Fatal(err)
+	}
+	gotPath := filepath.Join(dir, "got.snap")
+	if err := mk().BuildTo(gotPath); err != nil {
+		t.Fatal(err)
+	}
+	if fileCRC(t, gotPath) != fileCRC(t, refPath) {
+		t.Fatal("BuildTo without spill differs from Build + WriteSnapshotFile")
+	}
+}
+
+// Strict-mode violations surface with the same sentinel errors as the
+// in-memory path.
+func TestBuildToStrictErrors(t *testing.T) {
+	t.Run("self-loop", func(t *testing.T) {
+		b := graph.NewBuilder(false, false)
+		b.SetSpill(graph.SpillOptions{BudgetBytes: 1 << 12})
+		b.AddEdge(1, 2)
+		b.AddEdge(7, 7)
+		err := b.BuildTo(filepath.Join(t.TempDir(), "g.snap"))
+		if !errors.Is(err, graph.ErrSelfLoop) {
+			t.Fatalf("err = %v, want ErrSelfLoop", err)
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		b := graph.NewBuilder(false, false)
+		b.SetSpill(graph.SpillOptions{BudgetBytes: 1 << 12})
+		b.AddEdge(1, 2)
+		b.AddEdge(2, 1) // same undirected edge
+		err := b.BuildTo(filepath.Join(t.TempDir(), "g.snap"))
+		if !errors.Is(err, graph.ErrDuplicateEdge) {
+			t.Fatalf("err = %v, want ErrDuplicateEdge", err)
+		}
+	})
+}
+
+// Dropped self-loops still register their endpoint as a vertex, exactly
+// like the in-memory path (collectIDs sees every endpoint).
+func TestBuildToDroppedSelfLoopKeepsVertex(t *testing.T) {
+	build := func(spill bool) *graph.Graph {
+		b := graph.NewBuilder(true, false)
+		b.SetOptions(graph.BuildOptions{DropSelfLoops: true, DedupEdges: true})
+		if spill {
+			b.SetSpill(graph.SpillOptions{BudgetBytes: 1 << 12})
+		}
+		b.AddEdge(1, 2)
+		b.AddEdge(9, 9) // dropped, but 9 must still be a vertex
+		if !spill {
+			g, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}
+		path := filepath.Join(t.TempDir(), "g.snap")
+		if err := b.BuildTo(path); err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	assertGraphsEqual(t, build(true), build(false))
+}
+
+func TestBuildOnSpillBuilderFails(t *testing.T) {
+	b := graph.NewBuilder(false, false)
+	b.SetSpill(graph.SpillOptions{})
+	b.AddEdge(1, 2)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build on a spill-configured builder succeeded")
+	}
+}
+
+// The scratch directory must not leak run or section files.
+func TestBuildToCleansScratch(t *testing.T) {
+	scratch := t.TempDir()
+	b := graph.NewBuilder(false, true)
+	b.SetOptions(graph.BuildOptions{DedupEdges: true, DropSelfLoops: true})
+	b.SetSpill(graph.SpillOptions{Dir: scratch, BudgetBytes: 1 << 12})
+	feedFixture(b, 3000, true)
+	out := filepath.Join(t.TempDir(), "g.snap")
+	if err := b.BuildTo(out); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("scratch dir still holds %d entries after BuildTo", len(ents))
+	}
+}

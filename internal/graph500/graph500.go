@@ -51,12 +51,30 @@ func (c Config) withDefaults() Config {
 // Self-loops and duplicate edges produced by the R-MAT process are
 // discarded, per the Graphalytics data model.
 func Generate(cfg Config) (*graph.Graph, error) {
+	b := graph.NewBuilder(cfg.Directed, cfg.Weighted)
+	if err := Into(cfg, b); err != nil {
+		return nil, err
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graph500: build: %w", err)
+	}
+	return g, nil
+}
+
+// Into streams the Kronecker graph for the configuration into b, one
+// edge at a time, never materializing the edge list: the only O(n)
+// state is the vertex relabeling permutation. Feeding a spill-configured
+// builder (Builder.SetSpill + BuildTo) assembles the graph out-of-core;
+// the RNG sequence and edge insertion order are identical to Generate's,
+// so both paths produce the same graph bit for bit.
+func Into(cfg Config, b *graph.Builder) error {
 	cfg = cfg.withDefaults()
 	if cfg.Scale < 1 || cfg.Scale > 30 {
-		return nil, fmt.Errorf("graph500: scale %d out of range [1, 30]", cfg.Scale)
+		return fmt.Errorf("graph500: scale %d out of range [1, 30]", cfg.Scale)
 	}
 	if cfg.A+cfg.B+cfg.C >= 1 {
-		return nil, fmt.Errorf("graph500: initiator probabilities sum to %.3f, want < 1", cfg.A+cfg.B+cfg.C)
+		return fmt.Errorf("graph500: initiator probabilities sum to %.3f, want < 1", cfg.A+cfg.B+cfg.C)
 	}
 	n := 1 << cfg.Scale
 	m := int64(cfg.EdgeFactor) * int64(n)
@@ -65,32 +83,22 @@ func Generate(cfg Config) (*graph.Graph, error) {
 	// Random vertex relabeling (Graph500 shuffles vertex ids).
 	perm := rng.Perm(n)
 
-	edges := make([]graph.Edge, 0, m)
-	for i := int64(0); i < m; i++ {
-		src, dst := rmatEdge(rng, cfg)
-		e := graph.Edge{Src: int64(perm[src]), Dst: int64(perm[dst])}
-		if cfg.Weighted {
-			e.Weight = rng.Float64() + 1.0/(1<<16) // avoid zero-weight edges
-		}
-		edges = append(edges, e)
-	}
-
-	b := graph.NewBuilder(cfg.Directed, cfg.Weighted)
 	b.SetName(fmt.Sprintf("graph500-%d", cfg.Scale))
 	b.SetOptions(graph.BuildOptions{DedupEdges: true, DropSelfLoops: true})
-	b.Grow(n, len(edges))
+	b.Grow(n, int(m))
 	// Every vertex exists even if the R-MAT process left it isolated.
 	for v := 0; v < n; v++ {
 		b.AddVertex(int64(v))
 	}
-	for _, e := range edges {
-		b.AddWeightedEdge(e.Src, e.Dst, e.Weight)
+	for i := int64(0); i < m; i++ {
+		src, dst := rmatEdge(rng, cfg)
+		var w float64
+		if cfg.Weighted {
+			w = rng.Float64() + 1.0/(1<<16) // avoid zero-weight edges
+		}
+		b.AddWeightedEdge(int64(perm[src]), int64(perm[dst]), w)
 	}
-	g, err := b.Build()
-	if err != nil {
-		return nil, fmt.Errorf("graph500: build: %w", err)
-	}
-	return g, nil
+	return nil
 }
 
 // rmatEdge samples one edge by recursive quadrant descent.

@@ -80,6 +80,19 @@ type Options struct {
 	// Dir, when non-empty, enables on-disk snapshots under this
 	// directory (created on demand).
 	Dir string
+	// MapSnapshots serves v2 snapshots as mmap-backed graphs
+	// (graph.MapSnapshotFile) instead of copying them onto the heap: open
+	// cost is O(header) and resident cost is page-cache pages the OS can
+	// reclaim. Unmappable snapshots (v1 files, platforms without mmap)
+	// fall back to the copying decoder transparently. Snapshot files in
+	// Dir are written by this store with fsync+rename, which is why the
+	// mmap fast path may skip payload checksums.
+	MapSnapshots bool
+	// MappedBudget bounds the mapped resident set in bytes, accounted
+	// separately from MemoryBudget: mapped pages are reclaimable by the
+	// OS under pressure, heap bytes are not. Zero or negative means
+	// unbounded.
+	MappedBudget int64
 	// OnEvent, when non-nil, receives eviction and snapshot events. It
 	// may be called from any goroutine and must not call back into the
 	// store.
@@ -96,8 +109,11 @@ type Result struct {
 	// Elapsed is this call's wall time, including any wait on an
 	// in-flight materialization.
 	Elapsed time.Duration
-	// Bytes is the graph's memory footprint.
+	// Bytes is the graph's real CSR footprint (graph.SizeBytes).
 	Bytes int64
+	// MappedBytes is the size of the mmap region backing the graph, 0 for
+	// heap-resident graphs. Mapped graphs cost page cache, not heap.
+	MappedBytes int64
 }
 
 // Materializer produces a graph on a cache miss.
@@ -108,10 +124,11 @@ type Materializer func() (*graph.Graph, error)
 type Store struct {
 	opts Options
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	lru     *list.List // front = most recently used; holds *entry, done only
-	used    int64
+	mu         sync.Mutex
+	entries    map[string]*entry
+	lru        *list.List // front = most recently used; holds *entry, done only
+	usedHeap   int64
+	usedMapped int64
 }
 
 // entry is one key's slot: at most one exists per key, and whoever creates
@@ -122,8 +139,15 @@ type entry struct {
 	g      *graph.Graph
 	err    error
 	source Source
-	bytes  int64
-	elem   *list.Element // non-nil while resident in the LRU
+	bytes  int64 // graph.SizeBytes: the real CSR footprint
+	// heapBytes/mappedBytes split bytes by residency: exactly one is
+	// non-zero. release drops the store's reference on a mapped graph's
+	// mmap region at eviction; the munmap happens once every engine
+	// holding the *Graph is done with it too.
+	heapBytes   int64
+	mappedBytes int64
+	release     func()
+	elem        *list.Element // non-nil while resident in the LRU
 }
 
 // New returns an empty store.
@@ -148,6 +172,23 @@ func (s *Store) Load(key string, build Materializer) (*graph.Graph, error) {
 // back as snapshots. A failed materialization is not cached — the next Get
 // retries.
 func (s *Store) Get(key string, build Materializer) (Result, error) {
+	return s.getWith(key, func() (*graph.Graph, Source, error) {
+		return s.materialize(key, build)
+	})
+}
+
+// GetStreamed is Get for out-of-core datasets: on a cold miss, buildTo
+// streams the graph directly into the snapshot file at the given path
+// (e.g. graph.Builder.BuildTo) and the store then opens that file —
+// mmap-backed when MapSnapshots is set — so the full graph never has to
+// exist on the heap. Requires a snapshot directory.
+func (s *Store) GetStreamed(key string, buildTo func(path string) error) (Result, error) {
+	return s.getWith(key, func() (*graph.Graph, Source, error) {
+		return s.materializeStreamed(key, buildTo)
+	})
+}
+
+func (s *Store) getWith(key string, mat func() (*graph.Graph, Source, error)) (Result, error) {
 	start := time.Now()
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
@@ -174,23 +215,33 @@ func (s *Store) Get(key string, build Materializer) (Result, error) {
 			if e.err != nil {
 				return Result{Elapsed: time.Since(start)}, e.err
 			}
-			return Result{Graph: e.g, Source: SourceMemory, Elapsed: time.Since(start), Bytes: e.bytes}, nil
+			return Result{Graph: e.g, Source: SourceMemory, Elapsed: time.Since(start), Bytes: e.bytes, MappedBytes: e.mappedBytes}, nil
 		}
 	}
 	e := &entry{key: key, ready: make(chan struct{})}
 	s.entries[key] = e
 	s.mu.Unlock()
 
-	e.g, e.source, e.err = s.materialize(key, build)
+	e.g, e.source, e.err = mat()
 	if e.err == nil {
-		e.bytes = e.g.MemoryFootprint()
+		e.bytes = e.g.SizeBytes()
+		if e.g.Mapped() {
+			// Charge the mapping, not the heap, and pin it so eviction
+			// can never unmap memory an engine still reaches through the
+			// returned *Graph.
+			e.mappedBytes = e.g.MappedBytes()
+			e.release = e.g.Retain()
+		} else {
+			e.heapBytes = e.bytes
+		}
 	}
 
 	s.mu.Lock()
 	if e.err != nil {
 		delete(s.entries, key) // do not cache failures
 	} else {
-		s.used += e.bytes
+		s.usedHeap += e.heapBytes
+		s.usedMapped += e.mappedBytes
 		e.elem = s.lru.PushFront(e)
 		s.evictLocked(e)
 	}
@@ -200,7 +251,7 @@ func (s *Store) Get(key string, build Materializer) (Result, error) {
 	if e.err != nil {
 		return Result{Elapsed: time.Since(start)}, e.err
 	}
-	return Result{Graph: e.g, Source: e.source, Elapsed: time.Since(start), Bytes: e.bytes}, nil
+	return Result{Graph: e.g, Source: e.source, Elapsed: time.Since(start), Bytes: e.bytes, MappedBytes: e.mappedBytes}, nil
 }
 
 // materialize resolves a miss: snapshot first (when configured), then the
@@ -208,7 +259,7 @@ func (s *Store) Get(key string, build Materializer) (Result, error) {
 func (s *Store) materialize(key string, build Materializer) (*graph.Graph, Source, error) {
 	if s.opts.Dir != "" {
 		path := s.snapshotPath(key)
-		g, err := graph.ReadSnapshotFile(path)
+		g, err := s.openSnapshot(path)
 		switch {
 		case err == nil:
 			return g, SourceSnapshot, nil
@@ -230,10 +281,54 @@ func (s *Store) materialize(key string, build Materializer) (*graph.Graph, Sourc
 			// a full disk or read-only dir must not fail the load.
 			s.emit(Event{Type: EventSnapshotWriteFailed, Key: key, Err: err})
 		} else {
-			s.emit(Event{Type: EventSnapshotWrite, Key: key, Bytes: g.MemoryFootprint()})
+			s.emit(Event{Type: EventSnapshotWrite, Key: key, Bytes: g.SizeBytes()})
 		}
 	}
 	return g, SourceBuilt, nil
+}
+
+// materializeStreamed resolves a miss for an out-of-core dataset: the
+// builder writes the snapshot file itself (never holding the graph in
+// memory) and the store opens the result.
+func (s *Store) materializeStreamed(key string, buildTo func(path string) error) (*graph.Graph, Source, error) {
+	if s.opts.Dir == "" {
+		return nil, "", fmt.Errorf("graphstore: streamed materialization of %s requires a snapshot directory", key)
+	}
+	path := s.snapshotPath(key)
+	g, err := s.openSnapshot(path)
+	switch {
+	case err == nil:
+		return g, SourceSnapshot, nil
+	case errors.Is(err, fs.ErrNotExist):
+		// Cold: stream-build below.
+	default:
+		s.emit(Event{Type: EventSnapshotCorrupt, Key: key, Err: err})
+	}
+	if err := os.MkdirAll(s.opts.Dir, 0o755); err != nil {
+		return nil, "", fmt.Errorf("graphstore: materialize %s: %w", key, err)
+	}
+	if err := buildTo(path); err != nil {
+		return nil, "", fmt.Errorf("graphstore: materialize %s: %w", key, err)
+	}
+	if g, err = s.openSnapshot(path); err != nil {
+		return nil, "", fmt.Errorf("graphstore: reopen streamed snapshot %s: %w", key, err)
+	}
+	s.emit(Event{Type: EventSnapshotWrite, Key: key, Bytes: g.SizeBytes()})
+	return g, SourceBuilt, nil
+}
+
+// openSnapshot opens a snapshot file, mmap-backed when configured. Any
+// map failure other than a missing file — a v1 snapshot, a platform
+// without mmap, a corrupt header — falls through to the copying decoder,
+// whose verdict (including ErrBadSnapshot for true corruption) is final.
+func (s *Store) openSnapshot(path string) (*graph.Graph, error) {
+	if s.opts.MapSnapshots {
+		g, err := graph.MapSnapshotFile(path)
+		if err == nil || errors.Is(err, fs.ErrNotExist) {
+			return g, err
+		}
+	}
+	return graph.ReadSnapshotFile(path)
 }
 
 func (s *Store) writeSnapshot(key string, g *graph.Graph) error {
@@ -251,23 +346,39 @@ func (s *Store) touchLocked(e *entry) {
 }
 
 // evictLocked drops least-recently-used entries until the resident set
-// fits the budget, never evicting keep (the entry being returned).
+// fits both budgets — heap and mapped bytes are accounted (and bounded)
+// separately — never evicting keep (the entry being returned).
 func (s *Store) evictLocked(keep *entry) {
-	if s.opts.MemoryBudget <= 0 {
-		return
+	over := func() bool {
+		if s.opts.MemoryBudget > 0 && s.usedHeap > s.opts.MemoryBudget {
+			return true
+		}
+		return s.opts.MappedBudget > 0 && s.usedMapped > s.opts.MappedBudget
 	}
-	for s.used > s.opts.MemoryBudget && s.lru.Len() > 1 {
+	for over() && s.lru.Len() > 1 {
 		back := s.lru.Back()
 		victim := back.Value.(*entry)
 		if victim == keep {
 			// keep is the oldest resident entry; nothing else to shed.
 			return
 		}
-		s.lru.Remove(back)
-		victim.elem = nil
-		delete(s.entries, victim.key)
-		s.used -= victim.bytes
+		s.dropLocked(victim)
 		s.emit(Event{Type: EventEvict, Key: victim.key, Bytes: victim.bytes})
+	}
+}
+
+// dropLocked removes a resident entry and releases the store's reference
+// on its mapping (the munmap itself waits for every engine still holding
+// the *Graph).
+func (s *Store) dropLocked(victim *entry) {
+	s.lru.Remove(victim.elem)
+	victim.elem = nil
+	delete(s.entries, victim.key)
+	s.usedHeap -= victim.heapBytes
+	s.usedMapped -= victim.mappedBytes
+	if victim.release != nil {
+		victim.release()
+		victim.release = nil
 	}
 }
 
@@ -286,10 +397,7 @@ func (s *Store) Evict(key string) bool {
 	default:
 		return false
 	}
-	s.lru.Remove(e.elem)
-	e.elem = nil
-	delete(s.entries, key)
-	s.used -= e.bytes
+	s.dropLocked(e)
 	return true
 }
 
@@ -300,11 +408,27 @@ func (s *Store) Len() int {
 	return s.lru.Len()
 }
 
-// Bytes returns the resident set size in graph-footprint bytes.
+// Bytes returns the resident set size in graph-footprint bytes, heap and
+// mapped combined.
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.used
+	return s.usedHeap + s.usedMapped
+}
+
+// HeapBytes returns the heap-resident portion of the set.
+func (s *Store) HeapBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usedHeap
+}
+
+// MappedBytes returns the mmap-resident portion of the set: bytes the OS
+// can reclaim under pressure, unlike heap bytes.
+func (s *Store) MappedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usedMapped
 }
 
 // Dir returns the snapshot directory ("" when snapshots are disabled).

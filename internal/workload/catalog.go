@@ -45,6 +45,15 @@ type Dataset struct {
 	Params algorithms.Params
 	// Generate produces the stand-in graph; it is deterministic.
 	Generate func() (*graph.Graph, error)
+	// Stream, when set, feeds the dataset's edges into a builder without
+	// materializing them, so the graph can be assembled out-of-core via
+	// Builder.BuildTo. It must produce exactly the graph Generate does.
+	Stream func(b *graph.Builder) error
+	// OutOfCore marks datasets sized beyond comfortable heap residency.
+	// They are excluded from Catalog() (and so from sweeps and Warm) but
+	// remain resolvable by ID and warmable explicitly; materialization
+	// prefers the Stream path through a snapshot-backed store.
+	OutOfCore bool
 }
 
 // GeneratorVersion is the version of the stand-in generators as a whole.
@@ -108,10 +117,25 @@ func ByID(id string) (Dataset, error) {
 	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", id)
 }
 
-// Catalog returns every dataset of the reproduction workload, real-world
-// stand-ins first (Table 3), then synthetic (Table 4). The returned slice
-// is the caller's to reorder.
+// Catalog returns every in-core dataset of the reproduction workload,
+// real-world stand-ins first (Table 3), then synthetic (Table 4).
+// Out-of-core XL entries are excluded — see FullCatalog. The returned
+// slice is the caller's to reorder.
 func Catalog() []Dataset {
+	initCatalog()
+	out := make([]Dataset, 0, len(catalogData))
+	for _, d := range catalogData {
+		if !d.OutOfCore {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FullCatalog returns every dataset including the out-of-core XL
+// entries, which only materialize comfortably through a snapshot-backed
+// store with spill-to-disk building (see Dataset.Stream).
+func FullCatalog() []Dataset {
 	initCatalog()
 	return append([]Dataset(nil), catalogData...)
 }
@@ -169,6 +193,10 @@ func buildCatalog() []Dataset {
 		graph500Entry("G24", 24, 8.4),
 		graph500Entry("G25", 25, 8.7),
 		graph500Entry("G26", 26, 9.0),
+
+		// ---- Out-of-core XL entries: Graph500 at true paper scale ----
+		graph500XLEntry("XL22", 22, 7.8),
+		graph500XLEntry("XL24", 24, 8.4),
 	}
 }
 
@@ -218,6 +246,25 @@ func graph500Entry(id string, paperScaleParam int, paperScale float64) Dataset {
 		Generate: func() (*graph.Graph, error) {
 			return graph500.Generate(graph500.Config{Scale: liteScale, Seed: uint64(paperScaleParam)})
 		},
+	}
+}
+
+// graph500XLEntry builds an out-of-core Graph500 dataset at the paper's
+// true scale — no liteDivisor reduction. A scale-22 graph carries 2^22
+// vertices and ~67M edges, 10-100x the largest lite stand-in, which is
+// exactly what the streaming BuildTo + mmap path exists for. The Stream
+// and Generate closures share one Config, so both paths produce the same
+// graph; only the XL residency differs.
+func graph500XLEntry(id string, scale int, paperScale float64) Dataset {
+	cfg := graph500.Config{Scale: scale, Seed: uint64(scale)}
+	return Dataset{
+		ID: id, Name: fmt.Sprintf("graph500-%d-xl", scale), Domain: "Synthetic",
+		PaperScale: paperScale,
+		Directed:   false, Weighted: false,
+		OutOfCore: true,
+		Params:    algorithms.Params{Source: 0, Iterations: 10},
+		Stream:    func(b *graph.Builder) error { return graph500.Into(cfg, b) },
+		Generate:  func() (*graph.Graph, error) { return graph500.Generate(cfg) },
 	}
 }
 

@@ -45,11 +45,25 @@ func LoadFrom(s *graphstore.Store, id string) (*graph.Graph, error) {
 }
 
 // GetFrom is LoadFrom returning the store's materialization details
-// (source, elapsed time, footprint).
+// (source, elapsed time, footprint). Datasets with a Stream feed and a
+// snapshot-backed store materialize out-of-core: edges spill to bounded
+// disk runs and merge straight into the on-disk snapshot (Builder.BuildTo),
+// so the full edge list never exists on the heap. Everything else goes
+// through the in-memory generator.
 func GetFrom(s *graphstore.Store, id string) (graphstore.Result, error) {
 	d, err := ByID(id)
 	if err != nil {
 		return graphstore.Result{}, err
+	}
+	if d.Stream != nil && s.Dir() != "" {
+		return s.GetStreamed(d.Fingerprint(), func(path string) error {
+			b := graph.NewBuilder(d.Directed, d.Weighted)
+			b.SetSpill(graph.SpillOptions{})
+			if err := d.Stream(b); err != nil {
+				return fmt.Errorf("workload: stream %s: %w", d.ID, err)
+			}
+			return b.BuildTo(path)
+		})
 	}
 	return s.Get(d.Fingerprint(), func() (*graph.Graph, error) {
 		g, err := d.Generate()
@@ -67,11 +81,20 @@ func GetFrom(s *graphstore.Store, id string) (graphstore.Result, error) {
 // first materialization error is returned after the pool drains, alongside
 // any context error.
 func Warm(ctx context.Context, s *graphstore.Store, parallel int, onEach func(id string, r graphstore.Result, err error)) error {
+	ids := make([]string, 0, len(Catalog()))
+	for _, d := range Catalog() {
+		ids = append(ids, d.ID)
+	}
+	return WarmIDs(ctx, s, parallel, ids, onEach)
+}
+
+// WarmIDs is Warm over an explicit dataset list — the only way to warm
+// out-of-core XL datasets, which Catalog (and therefore Warm) excludes.
+func WarmIDs(ctx context.Context, s *graphstore.Store, parallel int, datasets []string, onEach func(id string, r graphstore.Result, err error)) error {
 	if ctx == nil {
 		//graphalint:ctxbg nil-ctx guard for deprecated ctx-less entry points; ctx-first callers never hit it
 		ctx = context.Background()
 	}
-	datasets := Catalog()
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -102,9 +125,9 @@ func Warm(ctx context.Context, s *graphstore.Store, parallel int, onEach func(id
 		}()
 	}
 feed:
-	for _, d := range datasets {
+	for _, id := range datasets {
 		select {
-		case ids <- d.ID:
+		case ids <- id:
 		case <-ctx.Done():
 			break feed
 		}

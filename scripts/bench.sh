@@ -9,7 +9,8 @@
 #   benchstat old.txt new.txt
 # compares two snapshots; the "results" field carries the same data
 # parsed for scripting. Environment overrides:
-#   BENCH      benchmark regexp        (default BenchmarkEngineExecute|BenchmarkPlanSharedUpload|BenchmarkRefKernelSSSP|BenchmarkRefKernelCDLP)
+#   BENCH      benchmark regexp        (default: engine Execute, plan pipeline,
+#              SSSP/CDLP kernels, snapshot map-open vs heap-load, streamed build)
 #   BENCHTIME  go test -benchtime      (default 3x)
 #   COUNT      go test -count          (default 1; raise for benchstat CIs)
 #   OUT        output file             (default BENCH_<date>.json)
@@ -17,8 +18,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The RefKernel sweeps cover the delta-stepping SSSP and frontier CDLP
-# worker scaling alongside the engine Execute and plan-pipeline suites.
-BENCH=${BENCH:-'BenchmarkEngineExecute|BenchmarkPlanSharedUpload|BenchmarkRefKernelSSSP|BenchmarkRefKernelCDLP'}
+# worker scaling alongside the engine Execute and plan-pipeline suites;
+# the Snapshot trio records the mmap-vs-copying open gap and the
+# out-of-core streamed build.
+BENCH=${BENCH:-'BenchmarkEngineExecute|BenchmarkPlanSharedUpload|BenchmarkRefKernelSSSP|BenchmarkRefKernelCDLP|BenchmarkSnapshotMapOpen|BenchmarkSnapshotHeapLoad|BenchmarkBuilderStreamed'}
 BENCHTIME=${BENCHTIME:-3x}
 COUNT=${COUNT:-1}
 OUT=${OUT:-BENCH_$(date +%F).json}

@@ -53,6 +53,12 @@ func WithGraphStore(st *GraphStore) Option { return core.WithGraphStore(st) }
 // load snapshots instead of re-generating datasets.
 func WithCacheDir(dir string) Option { return core.WithCacheDir(dir) }
 
+// WithMappedSnapshots makes the WithCacheDir store serve warm v2
+// snapshots as mmap-backed graphs: open cost is O(header) and pages stay
+// reclaimable by the OS, so sessions can run graphs larger than RAM.
+// Engine outputs are identical to heap-resident runs.
+func WithMappedSnapshots(on bool) Option { return core.WithMappedSnapshots(on) }
+
 // LoadDatasetFrom materializes a catalog dataset through the given store.
 func LoadDatasetFrom(s *GraphStore, id string) (*Graph, error) {
 	return workload.LoadFrom(s, id)
@@ -65,6 +71,14 @@ func WarmCatalog(ctx context.Context, s *GraphStore, parallel int, onEach func(i
 	return workload.Warm(ctx, s, parallel, onEach)
 }
 
+// WarmDatasets is WarmCatalog over an explicit dataset-ID list. It is
+// the way to materialize out-of-core XL datasets (e.g. "XL22"), which
+// the catalog sweep skips: with a snapshot directory they stream through
+// the spill-to-disk builder and never hold their edge list in memory.
+func WarmDatasets(ctx context.Context, s *GraphStore, parallel int, ids []string, onEach func(id string, r GraphStoreResult, err error)) error {
+	return workload.WarmIDs(ctx, s, parallel, ids, onEach)
+}
+
 // ErrBadSnapshot wraps every snapshot decode failure caused by the bytes
 // themselves; stores treat it as a cache miss.
 var ErrBadSnapshot = graph.ErrBadSnapshot
@@ -75,3 +89,15 @@ func SaveGraphSnapshot(path string, g *Graph) error { return graph.WriteSnapshot
 
 // LoadGraphSnapshot reads a graph written by SaveGraphSnapshot.
 func LoadGraphSnapshot(path string) (*Graph, error) { return graph.ReadSnapshotFile(path) }
+
+// MapGraphSnapshot opens a v2 snapshot as an mmap-backed graph: the
+// header is validated eagerly, the CSR arrays are served zero-copy from
+// the page cache, and open cost is O(header) regardless of graph size.
+// Release the graph with Close when done. Fails with ErrBadSnapshot on
+// v1 files and ErrMapUnsupported off Linux/macOS — fall back to
+// LoadGraphSnapshot.
+func MapGraphSnapshot(path string) (*Graph, error) { return graph.MapSnapshotFile(path) }
+
+// ErrMapUnsupported reports that snapshot mapping is unavailable on this
+// platform; use LoadGraphSnapshot instead.
+var ErrMapUnsupported = graph.ErrMapUnsupported
