@@ -193,21 +193,24 @@ func (c *serviceClient) followEvents(ctx context.Context, runID string, w io.Wri
 // eventRecord mirrors the service's EventRecord wire form (the fields
 // the progress renderer uses).
 type eventRecord struct {
-	Seq       uint64    `json:"seq"`
-	Time      time.Time `json:"time"`
-	Type      string    `json:"type"`
-	Run       string    `json:"run"`
-	State     string    `json:"state"`
-	Dropped   uint64    `json:"dropped"`
-	Index     int       `json:"index"`
-	Total     int       `json:"total"`
-	Platform  string    `json:"platform"`
-	Dataset   string    `json:"dataset"`
-	Algorithm string    `json:"algorithm"`
-	Status    string    `json:"status"`
-	Error     string    `json:"error"`
-	Elapsed   int64     `json:"elapsed"`
-	Source    string    `json:"source"`
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Type    string    `json:"type"`
+	Run     string    `json:"run"`
+	State   string    `json:"state"`
+	Dropped uint64    `json:"dropped"`
+	// ArchiveRoot is the archive commit ID sealing a completed run's
+	// results, carried on the final run-finished event.
+	ArchiveRoot string `json:"archive_root"`
+	Index       int    `json:"index"`
+	Total       int    `json:"total"`
+	Platform    string `json:"platform"`
+	Dataset     string `json:"dataset"`
+	Algorithm   string `json:"algorithm"`
+	Status      string `json:"status"`
+	Error       string `json:"error"`
+	Elapsed     int64  `json:"elapsed"`
+	Source      string `json:"source"`
 }
 
 // renderEventRecord prints one SSE event as a progress line in the same
@@ -229,6 +232,12 @@ func renderEventRecord(w io.Writer, ev sseEvent) (string, error) {
 			fmt.Fprintf(w, "%s >> run %s %s (%d events dropped under load)\n", stamp, rec.Run, rec.State, rec.Dropped)
 		} else {
 			fmt.Fprintf(w, "%s >> run %s %s\n", stamp, rec.Run, rec.State)
+		}
+		if rec.ArchiveRoot != "" {
+			// The daemon sealed the run: print the commit ID so the
+			// watcher can verify the published results offline
+			// (GET /v1/archive/{root}, `graphalytics archive verify`).
+			fmt.Fprintf(w, "%s >> archived: commit %s\n", stamp, rec.ArchiveRoot)
 		}
 		return rec.State, nil
 	case "dataset-materialized":

@@ -29,6 +29,7 @@ import (
 
 	"graphalytics"
 	"graphalytics/internal/algorithms"
+	"graphalytics/internal/archive"
 	"graphalytics/internal/core"
 	"graphalytics/internal/granula"
 	"graphalytics/internal/platform"
@@ -65,6 +66,8 @@ func main() {
 		err = cmdSubmit(ctx, os.Args[2:])
 	case "watch":
 		err = cmdWatch(ctx, os.Args[2:])
+	case "archive":
+		err = cmdArchive(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -76,10 +79,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|plan|suite|warm|renewal|validate|bench|submit|watch> [flags]
+	fmt.Fprintln(os.Stderr, `usage: graphalytics <list|run|plan|suite|warm|renewal|validate|bench|submit|watch|archive> [flags]
   list                      print platforms, datasets and the workload survey
   run     -platform -dataset -algorithm [-threads -machines -archive] [-cache-dir DIR] [-mmap]
-  run     -spec spec.json [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR] [-mmap]
+  run     -spec spec.json [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR] [-mmap] [-archive-dir DIR]
   plan    -spec spec.json [-json]        compile a spec and print the plan (dry run)
   suite   -id <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table8|table9|table10|table11|all> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
   warm    -cache-dir DIR [-parallel N] [-dataset IDS] [-mmap]   materialize datasets into a snapshot cache
@@ -88,6 +91,7 @@ func usage() {
   bench   -description <file.json> [-out results.jsonl] [-parallel N] [-progress] [-cache-dir DIR]
   submit  -spec spec.json [-server URL] [-key K] [-watch] [-out results.jsonl]
   watch   -run <id> [-server URL] [-key K] [-out results.jsonl]
+  archive verify|head|log|show|commit-bench|report|regress [-dir DIR] ...
 
 'submit' and 'watch' talk to a running graphalyticsd daemon over its
 HTTP API: submit posts the spec as a new run; watch follows a run's
@@ -103,6 +107,14 @@ it, paying one graph upload per deployment group.
 -cache-dir persists datasets as binary CSR snapshots: the first run
 generates and caches them, later runs (and 'warm'-ed caches) load the
 snapshots instead of re-generating.
+
+-archive-dir seals a completed 'run -spec' into the content-addressed
+run archive: results, spec and environment are committed under a Merkle
+root chained to the previous commit, so the same spec and results
+always produce the same commit ID. 'archive verify' re-derives every
+hash offline; 'archive report' exports the Graphalytics report pages;
+'archive regress' diffs two archived bench snapshots and exits nonzero
+on gated hot-path regressions (the CI gate).
 
 -mmap serves warm snapshots as mmap-backed graphs: open is O(header),
 the CSR arrays are read zero-copy from the page cache, and pages stay
@@ -235,16 +247,32 @@ func cmdPlan(args []string) error {
 
 // runSpec executes a benchmark spec end to end: compile to a plan, run it
 // with shared uploads, stream results to the sinks (-out JSONL, a report
-// table) and print the cross-platform analysis.
-func runSpec(ctx context.Context, specPath, out string, parallel int, progress bool, cacheDir string, mmap bool) error {
+// table) and print the cross-platform analysis. With archiveDir, the
+// completed run is sealed into the content-addressed archive and the
+// commit ID printed — the handle `archive verify` and the daemon's
+// /v1/archive endpoints accept.
+func runSpec(ctx context.Context, specPath, out string, parallel int, progress bool, cacheDir string, mmap bool, archiveDir string) error {
 	sp, err := graphalytics.LoadSpec(specPath)
 	if err != nil {
 		return err
+	}
+	var asink *core.ArchiveSink
+	if archiveDir != "" {
+		arch, err := archive.Open(archiveDir)
+		if err != nil {
+			return err
+		}
+		asink = core.NewArchiveSink(arch, sp.Name, sp)
 	}
 	table := graphalytics.NewReportSink(sp.Name, "spec results: "+sp.Name)
 	opts := []graphalytics.Option{
 		graphalytics.WithParallelism(parallel),
 		graphalytics.WithSink(table),
+	}
+	if asink != nil {
+		// A FinalSink: the session delivers it after the table and the
+		// -out stream, and it buffers until the explicit Commit below.
+		opts = append(opts, graphalytics.WithSink(asink))
 	}
 	if progress {
 		opts = append(opts, graphalytics.WithObserver(progressObserver(os.Stderr)))
@@ -299,6 +327,15 @@ func runSpec(ctx context.Context, specPath, out string, parallel int, progress b
 	if outFile != nil {
 		fmt.Printf("%d results streamed to %s\n", len(results), outFile.Name())
 	}
+	// Seal only completed runs: an interrupted run's partial results
+	// must never masquerade as an archived benchmark.
+	if asink != nil && ctx.Err() == nil {
+		root, err := asink.Commit()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run archived: commit %s (%d results)\n", root, asink.Len())
+	}
 	if sinkErr != nil {
 		return sinkErr
 	}
@@ -321,6 +358,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	progress := fs.Bool("progress", false, "with -spec: stream per-job progress to stderr")
 	cacheDir := fs.String("cache-dir", "", "load/persist datasets as binary snapshots under this directory")
 	mmap := fs.Bool("mmap", false, "with -cache-dir: serve warm snapshots as mmap-backed graphs")
+	archiveDir := fs.String("archive-dir", "", "with -spec: seal the completed run into the content-addressed archive under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -330,7 +368,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	if *specPath != "" {
 		// The single-job flags have no effect in spec mode; reject them
 		// loudly instead of silently dropping what the user asked for.
-		specFlags := map[string]bool{"spec": true, "out": true, "parallel": true, "progress": true, "cache-dir": true, "mmap": true}
+		specFlags := map[string]bool{"spec": true, "out": true, "parallel": true, "progress": true, "cache-dir": true, "mmap": true, "archive-dir": true}
 		var stray []string
 		fs.Visit(func(f *flag.Flag) {
 			if !specFlags[f.Name] {
@@ -340,7 +378,10 @@ func cmdRun(ctx context.Context, args []string) error {
 		if len(stray) > 0 {
 			return fmt.Errorf("run: %s cannot be combined with -spec (the spec defines the jobs)", strings.Join(stray, " "))
 		}
-		return runSpec(ctx, *specPath, *out, *parallel, *progress, *cacheDir, *mmap)
+		return runSpec(ctx, *specPath, *out, *parallel, *progress, *cacheDir, *mmap, *archiveDir)
+	}
+	if *archiveDir != "" {
+		return fmt.Errorf("run: -archive-dir requires -spec (single jobs are not archived)")
 	}
 
 	var g *graphalytics.Graph

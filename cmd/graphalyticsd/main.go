@@ -73,6 +73,7 @@ func run() error {
 	sla := fs.Duration("sla", time.Minute, "default per-job makespan budget (specs and jobs can override)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "how long running deployments may finish after a shutdown signal")
 	warm := fs.Bool("warm", false, "materialize the whole catalog into the store before serving")
+	archiveDir := fs.String("archive-dir", "", "seal every completed run into the content-addressed archive under this directory")
 	mmap := fs.Bool("mmap", false, "with -cache-dir: serve warm snapshots as mmap-backed graphs (zero-copy, OS-reclaimable pages)")
 	var tenants tenantFlags
 	fs.Var(&tenants, "tenant", "tenant as name[:key[:maxRunning[:maxQueued]]]; repeatable (default: one open tenant \"public\")")
@@ -114,6 +115,7 @@ func run() error {
 		Slots:          *slots,
 		Quantum:        *quantum,
 		SessionOptions: opts,
+		ArchiveDir:     *archiveDir,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,34 @@
+package archive
+
+import "crypto/sha256"
+
+// merkleRoot computes the Merkle root over the batch's chunk digests.
+// Leaves are the raw SHA-256 digests of the chunks in batch order; each
+// level hashes sibling pairs as sha256(left || right); an odd trailing
+// node is promoted unchanged to the next level (not duplicated, so a
+// single-chunk batch's root is the chunk digest itself and padding
+// cannot be confused with data). An empty batch hashes the empty
+// string, giving a defined root for degenerate commits.
+func merkleRoot(leaves [][]byte) []byte {
+	if len(leaves) == 0 {
+		sum := sha256.Sum256(nil)
+		return sum[:]
+	}
+	level := make([][]byte, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				break
+			}
+			h := sha256.New()
+			h.Write(level[i])
+			h.Write(level[i+1])
+			next = append(next, h.Sum(nil))
+		}
+		level = next
+	}
+	return level[0]
+}

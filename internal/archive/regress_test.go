@@ -1,0 +1,193 @@
+package archive
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const benchA = `{
+  "date": "2026-08-01",
+  "results": [
+    {"name": "BenchmarkEngineExecute/native/CDLP-8", "iterations": 3, "ns_per_op": 14000000, "bytes_per_op": null, "allocs_per_op": 26},
+    {"name": "BenchmarkEngineExecute/native/BFS-8", "iterations": 3, "ns_per_op": 960000, "bytes_per_op": 1024, "allocs_per_op": 118},
+    {"name": "BenchmarkSnapshotMapOpen/scale12-8", "iterations": 3, "ns_per_op": 25000, "bytes_per_op": null, "allocs_per_op": 10},
+    {"name": "BenchmarkSnapshotMapOpen/scale16-8", "iterations": 3, "ns_per_op": 65000, "bytes_per_op": null, "allocs_per_op": 10}
+  ]
+}`
+
+// benchB: CDLP 2x slower, BFS slightly (under threshold) slower,
+// map-open ratio unchanged. Names carry a different GOMAXPROCS suffix.
+const benchB = `{
+  "date": "2026-08-07",
+  "results": [
+    {"name": "BenchmarkEngineExecute/native/CDLP-4", "iterations": 3, "ns_per_op": 28000000, "bytes_per_op": null, "allocs_per_op": 26},
+    {"name": "BenchmarkEngineExecute/native/BFS-4", "iterations": 3, "ns_per_op": 1000000, "bytes_per_op": 1024, "allocs_per_op": 118},
+    {"name": "BenchmarkSnapshotMapOpen/scale12-4", "iterations": 3, "ns_per_op": 26000, "bytes_per_op": null, "allocs_per_op": 10},
+    {"name": "BenchmarkSnapshotMapOpen/scale16-4", "iterations": 3, "ns_per_op": 67600, "bytes_per_op": null, "allocs_per_op": 10}
+  ]
+}`
+
+func TestBenchMetrics(t *testing.T) {
+	m, err := BenchMetrics([]byte(benchA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["BenchmarkEngineExecute/native/CDLP/ns"]; got != 14000000 {
+		t.Errorf("CDLP ns = %v (GOMAXPROCS suffix must be stripped)", got)
+	}
+	if got := m["BenchmarkEngineExecute/native/BFS/B"]; got != 1024 {
+		t.Errorf("BFS B/op = %v", got)
+	}
+	if _, ok := m["BenchmarkEngineExecute/native/CDLP/B"]; ok {
+		t.Error("null bytes_per_op must not produce a metric")
+	}
+	ratio := m["derived/map_open_ratio"]
+	if ratio < 2.59 || ratio > 2.61 {
+		t.Errorf("derived map-open ratio = %v, want 65000/25000", ratio)
+	}
+}
+
+func mustGates(t *testing.T, specs ...string) []Gate {
+	t.Helper()
+	var gates []Gate
+	for _, s := range specs {
+		g, err := ParseGate(s, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gates = append(gates, g)
+	}
+	return gates
+}
+
+// TestRegressRedOnSlowdownGreenOnBaseline is the CI-gate acceptance
+// pair: a synthetic 2x CDLP slowdown must be red, the identical
+// snapshot must be green, and an under-threshold drift must not trip.
+func TestRegressRedOnSlowdownGreenOnBaseline(t *testing.T) {
+	old, err := BenchMetrics([]byte(benchA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gates := mustGates(t, `EngineExecute/.*/CDLP/ns`, `derived/map_open_ratio`)
+
+	// Green: identical snapshot.
+	rep := Regress(old, old, gates)
+	if !rep.OK() {
+		t.Fatalf("identical snapshots must pass: %+v", rep)
+	}
+
+	// Red: 2x slowdown on the gated CDLP hot path.
+	now, err := BenchMetrics([]byte(benchB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = Regress(old, now, gates)
+	if rep.OK() || rep.Regressions != 1 {
+		t.Fatalf("2x CDLP slowdown must fail exactly one gate: %+v", rep)
+	}
+	var hit *Delta
+	for i := range rep.Deltas {
+		if rep.Deltas[i].Regressed {
+			hit = &rep.Deltas[i]
+		}
+	}
+	if hit == nil || hit.Metric != "BenchmarkEngineExecute/native/CDLP/ns" {
+		t.Fatalf("wrong regressed metric: %+v", hit)
+	}
+	if hit.Percent < 99 || hit.Percent > 101 {
+		t.Errorf("delta = %v%%, want ~+100%%", hit.Percent)
+	}
+	// BFS drifted +4.2% but is ungated; map-open ratio drifted +0.0%.
+	for _, d := range rep.Deltas {
+		if d.Metric == "derived/map_open_ratio" && d.Regressed {
+			t.Error("unchanged map-open ratio tripped its gate")
+		}
+	}
+
+	var buf bytes.Buffer
+	rep.Render(&buf, false)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "regress FAILED: 1 gated regression(s)") {
+		t.Errorf("render missing verdicts:\n%s", out)
+	}
+}
+
+func TestRegressThresholdAndMissing(t *testing.T) {
+	old := map[string]float64{"X/ns": 100, "Y/ns": 100}
+	gates := mustGates(t, `X/ns=25`, `Y/ns`)
+
+	// +24% under a 25% gate passes; +26% fails.
+	if rep := Regress(old, map[string]float64{"X/ns": 124, "Y/ns": 100}, gates); !rep.OK() {
+		t.Errorf("+24%% under a 25%% gate must pass: %+v", rep)
+	}
+	if rep := Regress(old, map[string]float64{"X/ns": 126, "Y/ns": 100}, gates); rep.OK() {
+		t.Error("+26% over a 25% gate must fail")
+	}
+	// Improvements never trip gates.
+	if rep := Regress(old, map[string]float64{"X/ns": 10, "Y/ns": 10}, gates); !rep.OK() {
+		t.Errorf("improvements must pass: %+v", rep)
+	}
+	// A gated metric missing from the latest snapshot is a regression.
+	rep := Regress(old, map[string]float64{"X/ns": 100}, gates)
+	if rep.OK() || len(rep.Missing) != 1 || rep.Missing[0] != "Y/ns" {
+		t.Errorf("dropped gated metric must fail: %+v", rep)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf, true)
+	if !strings.Contains(buf.String(), "MISSING") {
+		t.Errorf("render missing MISSING row:\n%s", buf.String())
+	}
+}
+
+func TestParseGate(t *testing.T) {
+	g, err := ParseGate("CDLP.*/ns=7.5", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Threshold != 7.5 || !g.Pattern.MatchString("x/CDLPfoo/ns") {
+		t.Errorf("parsed gate %+v", g)
+	}
+	g, err = ParseGate("plain", 10)
+	if err != nil || g.Threshold != 10 {
+		t.Fatalf("default threshold: %+v, %v", g, err)
+	}
+	if _, err := ParseGate("[bad=5", 10); err == nil {
+		t.Error("bad regex must be rejected")
+	}
+}
+
+// TestBenchMetricsAt covers the archived end of the regress pipeline.
+func TestBenchMetricsAt(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := a.CommitBench("snap-a", []byte(benchA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CommitBench("snap-b", []byte(benchB)); err != nil {
+		t.Fatal(err)
+	}
+	old, err := a.BenchMetricsAt(c1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err := a.BenchMetricsAt("HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Regress(old, now, mustGates(t, `CDLP/ns`))
+	if rep.OK() {
+		t.Error("archived 2x slowdown must regress")
+	}
+	// Results commits are not bench snapshots.
+	cr, err := a.CommitResults("run", nil, sampleResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.BenchMetricsAt(cr.ID); err == nil {
+		t.Error("BenchMetricsAt on a results commit must fail")
+	}
+}

@@ -322,11 +322,16 @@ func (s *Session) RunJob(ctx context.Context, spec JobSpec) (JobResult, error) {
 }
 
 // record appends a finished job to the results database and delivers it
-// to the session's sinks. Jobs that hit a harness-level error before
-// running carry no status and are not recorded. recordMu — shared by
-// every batch of one session — serializes delivery, which is what gives
-// sinks their lock-free contract; within a batch the commit reorder
-// buffer additionally fixes the order to plan order.
+// to the session's sinks — ordinary sinks in registration order, then
+// FinalSinks (the archive) in registration order, so an archive sink
+// only ever observes results that every other sink has already been
+// offered. Jobs that hit a harness-level error before running carry no
+// status and are not recorded. recordMu — shared by every batch of one
+// session — serializes delivery, which is what gives sinks their
+// lock-free contract; within a batch the commit reorder buffer
+// additionally fixes the order to plan order. Each sink's failure is
+// wrapped with its position and type under ErrSink, so a joined batch
+// error names which sinks rejected which delivery.
 func (s *Session) record(res JobResult) error {
 	if res.Status == "" {
 		return nil
@@ -337,9 +342,9 @@ func (s *Session) record(res JobResult) error {
 		s.cfg.db.Add(res)
 	}
 	var errs []error
-	for _, k := range s.cfg.sinks {
-		if err := k.Consume(res); err != nil {
-			errs = append(errs, fmt.Errorf("%w: %w", ErrSink, err))
+	for _, i := range sinkPhases(s.cfg.sinks) {
+		if err := s.cfg.sinks[i].Consume(res); err != nil {
+			errs = append(errs, fmt.Errorf("%w: sink %d (%T): %w", ErrSink, i+1, s.cfg.sinks[i], err))
 		}
 	}
 	return errors.Join(errs...)

@@ -133,6 +133,174 @@ func TestSinkErrorSurfaces(t *testing.T) {
 	}
 }
 
+// fakeArchiver records what ArchiveResults was asked to seal.
+type fakeArchiver struct {
+	mu      sync.Mutex
+	name    string
+	spec    *core.BenchSpec
+	results []core.JobResult
+	calls   int
+	err     error
+}
+
+func (f *fakeArchiver) ArchiveResults(name string, spec *core.BenchSpec, results []core.JobResult) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	f.name, f.spec, f.results = name, spec, append([]core.JobResult(nil), results...)
+	if f.err != nil {
+		return "", f.err
+	}
+	return "deadbeef", nil
+}
+
+// TestArchiveSinkDeliveredLast is the sink-ordering contract: the
+// archive sink is a FinalSink, so the session must deliver every result
+// to it only after all ordinary sinks — regardless of registration
+// order — and a failed ordinary sink must never be able to run after
+// the archive observed the result.
+func TestArchiveSinkDeliveredLast(t *testing.T) {
+	plan := sinkTestPlan(t)
+	arch := &fakeArchiver{}
+	sink := core.NewArchiveSink(arch, "run", nil)
+	var order []string
+	probe := func(tag string) core.Sink {
+		return core.SinkFunc(func(core.JobResult) error {
+			order = append(order, tag)
+			return nil
+		})
+	}
+	spy := core.SinkFunc(func(r core.JobResult) error {
+		order = append(order, "archive")
+		return sink.Consume(r)
+	})
+	// Register the archive spy FIRST: ordering must come from the
+	// FinalSink contract, not from registration order.
+	s := core.NewSession(
+		core.WithSink(finalSink{spy}),
+		core.WithSink(probe("a")),
+		core.WithSink(probe("b")),
+	)
+	results, err := s.RunPlan(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3*len(results) {
+		t.Fatalf("saw %d deliveries, want %d", len(order), 3*len(results))
+	}
+	for i := 0; i < len(order); i += 3 {
+		if order[i] != "a" || order[i+1] != "b" || order[i+2] != "archive" {
+			t.Fatalf("delivery %d ordered %v, want [a b archive]", i/3, order[i:i+3])
+		}
+	}
+	// Nothing committed yet; Commit seals exactly the delivered batch.
+	if arch.calls != 0 {
+		t.Fatal("archive sealed before Commit")
+	}
+	root, err := sink.Commit()
+	if err != nil || root != "deadbeef" {
+		t.Fatalf("Commit = %q, %v", root, err)
+	}
+	if sink.Root() != "deadbeef" || arch.calls != 1 {
+		t.Errorf("Root/calls after Commit: %q, %d", sink.Root(), arch.calls)
+	}
+	if len(arch.results) != len(results) {
+		t.Fatalf("archived %d results, want %d", len(arch.results), len(results))
+	}
+	for i := range results {
+		if arch.results[i].Spec != results[i].Spec {
+			t.Errorf("archived result %d out of commit order", i)
+		}
+	}
+	// Commit is idempotent.
+	if root, err := sink.Commit(); err != nil || root != "deadbeef" || arch.calls != 1 {
+		t.Errorf("second Commit resealed: %q, %v, calls=%d", root, err, arch.calls)
+	}
+}
+
+// finalSink promotes any sink to a FinalSink for ordering tests.
+type finalSink struct{ core.Sink }
+
+func (finalSink) Final() {}
+
+// TestMultiSinkFinalLast: MultiSink applies the same final-last phase
+// split as the session.
+func TestMultiSinkFinalLast(t *testing.T) {
+	var order []string
+	tag := func(s string) core.Sink {
+		return core.SinkFunc(func(core.JobResult) error { order = append(order, s); return nil })
+	}
+	m := core.MultiSink(finalSink{tag("fin1")}, tag("ord1"), finalSink{tag("fin2")}, tag("ord2"))
+	if err := m.Consume(core.JobResult{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ord1", "ord2", "fin1", "fin2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("MultiSink order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSinkErrorsDistinct: two failing sinks surface as two distinctly
+// attributed errors under ErrSink, each naming the sink's registration
+// position and type.
+func TestSinkErrorsDistinct(t *testing.T) {
+	plan := sinkTestPlan(t)
+	boom1 := errors.New("first sink exploded")
+	boom2 := errors.New("second sink exploded")
+	s := core.NewSession(
+		core.WithSink(core.SinkFunc(func(core.JobResult) error { return boom1 })),
+		core.WithSink(&failingReportSink{err: boom2}),
+	)
+	_, err := s.RunPlan(context.Background(), plan)
+	if err == nil {
+		t.Fatal("failing sinks surfaced no error")
+	}
+	if !errors.Is(err, core.ErrSink) || !errors.Is(err, boom1) || !errors.Is(err, boom2) {
+		t.Fatalf("joined error must wrap ErrSink and both causes: %v", err)
+	}
+	if !core.SinkOnly(err) {
+		t.Fatalf("all-sink failure must be SinkOnly: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "sink 1 (core.SinkFunc)") {
+		t.Errorf("error does not attribute the first sink: %v", msg)
+	}
+	if !strings.Contains(msg, "sink 2 (*core_test.failingReportSink)") {
+		t.Errorf("error does not attribute the second sink: %v", msg)
+	}
+}
+
+type failingReportSink struct{ err error }
+
+func (k *failingReportSink) Consume(core.JobResult) error { return k.err }
+
+// TestArchiveSinkCommitError: a failing archiver surfaces from Commit,
+// and a later retry may succeed.
+func TestArchiveSinkCommitError(t *testing.T) {
+	arch := &fakeArchiver{err: errors.New("disk gone")}
+	sink := core.NewArchiveSink(arch, "run", nil)
+	if err := sink.Consume(core.JobResult{Status: core.StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sink.Commit(); err == nil {
+		t.Fatal("Commit must surface archiver failure")
+	}
+	if sink.Root() != "" {
+		t.Error("failed Commit must not record a root")
+	}
+	arch.mu.Lock()
+	arch.err = nil
+	arch.mu.Unlock()
+	if root, err := sink.Commit(); err != nil || root != "deadbeef" {
+		t.Errorf("retry after failure: %q, %v", root, err)
+	}
+	if sink.Len() != 1 {
+		t.Errorf("Len = %d, want 1", sink.Len())
+	}
+}
+
 // TestReportSink renders one row per job with the shared-upload marker.
 func TestReportSink(t *testing.T) {
 	plan := sinkTestPlan(t)

@@ -1,0 +1,261 @@
+package service
+
+// End-to-end archive tests: a daemon configured with -archive-dir must
+// seal every completed run into the content-addressed archive, announce
+// the commit ID on the run record and the final SSE event, and serve
+// the commit, its report, and its chunks over /v1/archive — with the
+// archived results byte-equivalent to the run's streamed results.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphalytics/internal/archive"
+	"graphalytics/internal/core"
+)
+
+// waitTerminal polls the run record until the run reaches a terminal
+// state.
+func waitTerminalHTTP(t *testing.T, client *http.Client, base, key, id string) RunRecord {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var rec RunRecord
+		doJSON(t, client, "GET", base+"/v1/runs/"+id, key, nil, &rec)
+		if rec.State.Terminal() {
+			return rec
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("run %s did not reach a terminal state", id)
+	return RunRecord{}
+}
+
+func TestArchiveEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestService(t, Config{
+		Tenants:    []Tenant{{Name: "a", Key: "ka"}},
+		ArchiveDir: dir,
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := srv.Client()
+
+	rec := submitSpec(t, client, srv.URL, "ka", testSpecJSON)
+	rec = waitTerminalHTTP(t, client, srv.URL, "ka", rec.ID)
+	if rec.State != RunDone {
+		t.Fatalf("run finished %s (%s), want %s", rec.State, rec.Error, RunDone)
+	}
+	if len(rec.ArchiveRoot) != 64 {
+		t.Fatalf("completed run carries no archive root: %+v", rec)
+	}
+
+	// The final SSE event carries the same root.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/runs/"+rec.ID+"/events", nil)
+	req.Header.Set("Authorization", "Bearer ka")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finalRoot string
+	err = collectSSE(resp.Body, func(ev sseTestEvent) bool {
+		if ev.typ != eventRunFinished {
+			return true
+		}
+		var fin EventRecord
+		if err := json.Unmarshal([]byte(ev.data), &fin); err != nil {
+			t.Fatalf("bad run-finished payload: %v", err)
+		}
+		finalRoot = fin.ArchiveRoot
+		return false
+	})
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalRoot != rec.ArchiveRoot {
+		t.Fatalf("final SSE event root %q != run record root %q", finalRoot, rec.ArchiveRoot)
+	}
+
+	// GET /v1/archive/{root} serves the sealed commit, unauthenticated.
+	var commit struct {
+		ID     string `json:"id"`
+		Kind   string `json:"kind"`
+		Root   string `json:"merkle_root"`
+		Chunks []struct {
+			Name string `json:"name"`
+		} `json:"chunks"`
+	}
+	resp2 := doJSON(t, client, "GET", srv.URL+"/v1/archive/"+rec.ArchiveRoot, "", nil, &commit)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/archive/{root}: %d", resp2.StatusCode)
+	}
+	if commit.ID != rec.ArchiveRoot || commit.Kind != archive.KindResults || len(commit.Root) != 64 {
+		t.Fatalf("bad commit body: %+v", commit)
+	}
+
+	// The archived results match the run's own results exactly.
+	arch := s.Archive()
+	c, err := arch.Load(rec.ArchiveRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archived, err := arch.Results(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	run := s.runs[rec.ID]
+	s.mu.Unlock()
+	streamed := run.Results()
+	if len(archived) != len(streamed) || len(archived) == 0 {
+		t.Fatalf("archived %d results, streamed %d", len(archived), len(streamed))
+	}
+	for i := range archived {
+		if archived[i].Spec != streamed[i].Spec || archived[i].Status != streamed[i].Status {
+			t.Errorf("archived result %d differs from streamed", i)
+		}
+	}
+	// The archived spec is the submitted spec.
+	sp, err := arch.Spec(c)
+	if err != nil || sp == nil || sp.Name != "service-e2e" {
+		t.Fatalf("archived spec: %+v, %v", sp, err)
+	}
+
+	// Offline verification of the daemon's archive passes.
+	vrep, err := arch.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vrep.OK() {
+		t.Fatalf("daemon archive fails verification: %+v", vrep.Problems)
+	}
+
+	// Report endpoints: the HTML page and a parseable data file.
+	htmlResp, err := client.Get(srv.URL + "/v1/archive/" + rec.ArchiveRoot + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(htmlResp.Body)
+	htmlResp.Body.Close()
+	if htmlResp.StatusCode != http.StatusOK || !strings.Contains(string(html), "benchmark-results.js") {
+		t.Fatalf("report page: %d\n%s", htmlResp.StatusCode, html)
+	}
+	jsResp, err := client.Get(srv.URL + "/v1/archive/" + rec.ArchiveRoot + "/benchmark-results.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, _ := io.ReadAll(jsResp.Body)
+	jsResp.Body.Close()
+	body, ok := strings.CutPrefix(string(js), "var results = ")
+	if jsResp.StatusCode != http.StatusOK || !ok {
+		t.Fatalf("benchmark-results.js: %d %.40q", jsResp.StatusCode, js)
+	}
+	var report struct {
+		Result struct {
+			Jobs map[string]struct {
+				Runs []string `json:"runs"`
+			} `json:"jobs"`
+			Runs map[string]any `json:"runs"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSuffix(strings.TrimSpace(body), ";")), &report); err != nil {
+		t.Fatalf("report data does not parse: %v", err)
+	}
+	if len(report.Result.Runs) != len(streamed) {
+		t.Fatalf("report carries %d runs, want %d", len(report.Result.Runs), len(streamed))
+	}
+
+	// Chunk endpoint round-trips the spec chunk.
+	chResp, err := client.Get(srv.URL + "/v1/archive/" + rec.ArchiveRoot + "/chunks/" + archive.ChunkSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk, _ := io.ReadAll(chResp.Body)
+	chResp.Body.Close()
+	if chResp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk endpoint: %d", chResp.StatusCode)
+	}
+	spFromChunk, err := core.DecodeSpec(strings.NewReader(string(chunk)))
+	if err != nil || spFromChunk.Name != "service-e2e" {
+		t.Fatalf("served spec chunk: %v, %+v", err, spFromChunk)
+	}
+
+	// Error surface: malformed and unknown roots.
+	if resp, _ := client.Get(srv.URL + "/v1/archive/nothex"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed root: %d, want 400", resp.StatusCode)
+	}
+	bogus := strings.Repeat("ab", 32)
+	if resp, _ := client.Get(srv.URL + "/v1/archive/" + bogus); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown root: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestArchiveDisabled: without ArchiveDir the run completes with no
+// root and the archive endpoints answer 404.
+func TestArchiveDisabled(t *testing.T) {
+	s := newTestService(t, Config{Tenants: []Tenant{{Name: "a", Key: "ka"}}})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := srv.Client()
+
+	rec := submitSpec(t, client, srv.URL, "ka", testSpecJSON)
+	rec = waitTerminalHTTP(t, client, srv.URL, "ka", rec.ID)
+	if rec.State != RunDone || rec.ArchiveRoot != "" {
+		t.Fatalf("archive-less run: %+v", rec)
+	}
+	bogus := strings.Repeat("ab", 32)
+	resp, err := client.Get(srv.URL + "/v1/archive/" + bogus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("archive endpoint without archive: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestArchiveSkipsCanceledAndFailed: only completed runs are sealed;
+// canceled and failed runs leave no commit behind.
+func TestArchiveSkipsCanceledAndFailed(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestService(t, Config{
+		Tenants:    []Tenant{{Name: "a", Key: "ka"}},
+		ArchiveDir: dir,
+	})
+	// Substitute a failing executor so the run ends RunFailed.
+	s.exec = func(ctx context.Context, run *Run, obs core.Observer, sink core.Sink) error {
+		return errHarness
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := srv.Client()
+
+	rec := submitSpec(t, client, srv.URL, "ka", testSpecJSON)
+	rec = waitTerminalHTTP(t, client, srv.URL, "ka", rec.ID)
+	if rec.State != RunFailed {
+		t.Fatalf("run finished %s, want %s", rec.State, RunFailed)
+	}
+	if rec.ArchiveRoot != "" {
+		t.Fatalf("failed run was archived: %+v", rec)
+	}
+	head, err := s.Archive().Head()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != "" {
+		t.Fatalf("failed run left commit %s in the archive", head)
+	}
+}
+
+var errHarness = errHarnessT{}
+
+type errHarnessT struct{}
+
+func (errHarnessT) Error() string { return "harness exploded" }

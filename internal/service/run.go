@@ -50,6 +50,9 @@ type Run struct {
 	cancelRequested bool
 	errMsg          string
 	dropped         uint64 // events the SSE bridge dropped (overflow)
+	// archiveRoot is the archive commit ID sealing this run's results
+	// ("" until a completed run is committed, or with no archive).
+	archiveRoot string
 
 	events  *streamLog[EventRecord]
 	results *streamLog[core.JobResult]
@@ -86,6 +89,11 @@ type EventRecord struct {
 	// Dropped reports, on the final record, how many core events the
 	// SSE bridge discarded because its buffer overflowed.
 	Dropped uint64 `json:"dropped,omitempty"`
+	// ArchiveRoot is, on the final record of a completed run, the
+	// archive commit ID sealing its results — the Merkle root chain
+	// handle to verify the published results against, servable via
+	// GET /v1/archive/{root}.
+	ArchiveRoot string `json:"archive_root,omitempty"`
 
 	// Job events.
 	Index      int             `json:"index,omitempty"`
@@ -148,16 +156,18 @@ func (r *Run) appendCoreEvent(e core.Event) {
 	})
 }
 
-// appendLifecycle appends a run lifecycle marker to the event log.
-func (r *Run) appendLifecycle(typ string, state RunState, dropped uint64) {
+// appendLifecycle appends a run lifecycle marker to the event log; root
+// carries the archive commit ID on a completed run's final record.
+func (r *Run) appendLifecycle(typ string, state RunState, dropped uint64, root string) {
 	r.events.append(func(id int) EventRecord {
 		return EventRecord{
-			ID:      uint64(id),
-			Time:    time.Now(),
-			Type:    typ,
-			Run:     r.id,
-			State:   state,
-			Dropped: dropped,
+			ID:          uint64(id),
+			Time:        time.Now(),
+			Type:        typ,
+			Run:         r.id,
+			State:       state,
+			Dropped:     dropped,
+			ArchiveRoot: root,
 		}
 	})
 }
@@ -186,6 +196,10 @@ type RunRecord struct {
 
 	Error         string `json:"error,omitempty"`
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	// ArchiveRoot is the archive commit ID sealing a completed run's
+	// results (empty until done, or when the daemon runs without an
+	// archive).
+	ArchiveRoot string `json:"archive_root,omitempty"`
 }
 
 // recordLocked builds the wire view; the caller holds the service mutex.
@@ -201,6 +215,7 @@ func (r *Run) recordLocked() RunRecord {
 		Deployments:   len(r.plan.Deployments),
 		Error:         r.errMsg,
 		EventsDropped: r.dropped,
+		ArchiveRoot:   r.archiveRoot,
 	}
 	if !r.started.IsZero() {
 		t := r.started

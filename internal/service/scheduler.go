@@ -58,7 +58,7 @@ func (s *Service) submit(t *tenantState, sp *core.BenchSpec, plan *core.Plan) (*
 	s.runs[run.id] = run
 	s.order = append(s.order, run)
 	t.queue = append(t.queue, run)
-	run.appendLifecycle(eventRunQueued, RunQueued, 0)
+	run.appendLifecycle(eventRunQueued, RunQueued, 0, "")
 	s.dispatchLocked()
 	return run, nil
 }
@@ -116,7 +116,7 @@ func (s *Service) startLocked(t *tenantState, run *Run) {
 	t.running++
 	s.running++
 	s.wg.Add(1)
-	run.appendLifecycle(eventRunStarted, RunRunning, 0)
+	run.appendLifecycle(eventRunStarted, RunRunning, 0, "")
 	go s.execute(ctx, run)
 }
 
@@ -126,14 +126,33 @@ func (s *Service) startLocked(t *tenantState, run *Run) {
 func (s *Service) execute(ctx context.Context, run *Run) {
 	defer s.wg.Done()
 	bridge := core.NewBufferedObserver(core.ObserverFunc(run.appendCoreEvent), s.eventBuffer)
-	sink := core.SinkFunc(func(r core.JobResult) error {
+	sink := core.Sink(core.SinkFunc(func(r core.JobResult) error {
 		run.results.append(func(int) core.JobResult { return r })
 		return nil
-	})
+	}))
+	var asink *core.ArchiveSink
+	if s.archive != nil {
+		// The archive sink is a FinalSink: MultiSink delivers it after
+		// the streaming log, so a client can never observe an archived
+		// result the result stream has not served.
+		asink = core.NewArchiveSink(s.archive, run.id+"/"+run.plan.Name, run.spec)
+		sink = core.MultiSink(sink, asink)
+	}
 	err := s.exec(ctx, run, bridge, sink)
 	// Flush every buffered event before the terminal record, so the SSE
 	// stream always ends with run-finished.
 	bridge.Close()
+
+	// Seal completed runs into the archive before finalizing, outside the
+	// service mutex (commits hash and write files). The pre-lock guard
+	// mirrors the RunDone case below: a canceled run (cancelRun and
+	// Shutdown both cancel ctx) or a failed one is never committed, so
+	// the archive only ever holds runs whose results are complete.
+	var root string
+	var archiveErr error
+	if asink != nil && ctx.Err() == nil && (err == nil || core.SinkOnly(err)) {
+		root, archiveErr = asink.Commit()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,15 +170,24 @@ func (s *Service) execute(ctx context.Context, run *Run) {
 		run.errMsg = err.Error()
 	default:
 		run.state = RunDone
+		run.archiveRoot = root
 		if err != nil {
 			// Sink-only errors: the run's own work is intact, a
 			// daemon-level sink rejected a result. Surface, don't fail.
 			run.errMsg = err.Error()
 		}
+		if archiveErr != nil {
+			// The run's results are intact and streamed; only sealing
+			// them failed. Surface like a sink error, don't fail the run.
+			if run.errMsg != "" {
+				run.errMsg += "; "
+			}
+			run.errMsg += archiveErr.Error()
+		}
 	}
 	run.finished = time.Now()
 	run.cancel()
-	run.appendLifecycle(eventRunFinished, run.state, run.dropped)
+	run.appendLifecycle(eventRunFinished, run.state, run.dropped, run.archiveRoot)
 	run.events.close()
 	run.results.close()
 	run.tenant.running--
@@ -186,7 +214,7 @@ func (s *Service) cancelRun(t *tenantState, id string) (*Run, bool) {
 		run.state = RunCanceled
 		run.finished = time.Now()
 		run.errMsg = "canceled before start"
-		run.appendLifecycle(eventRunFinished, RunCanceled, 0)
+		run.appendLifecycle(eventRunFinished, RunCanceled, 0, "")
 		run.events.close()
 		run.results.close()
 	case RunRunning:

@@ -20,11 +20,18 @@ import (
 //	POST   /v1/plan               compile a spec, return the plan listing
 //	                              (?format=json for the JSON plan) — dry run
 //	GET    /v1/healthz            liveness and scheduler counters (no auth)
+//	GET    /v1/archive/{root}                        archive commit record (no auth)
+//	GET    /v1/archive/{root}/report                 static HTML report page (no auth)
+//	GET    /v1/archive/{root}/benchmark-results.js   Graphalytics report data (no auth)
+//	GET    /v1/archive/{root}/chunks/{name}          raw verified chunk bytes (no auth)
 //
 // Authentication: `Authorization: Bearer <key>` or `X-API-Key: <key>`
 // maps the request to a tenant; a tenant registered with an empty key
 // serves unauthenticated requests. Runs are tenant-scoped: another
 // tenant's run ids are indistinguishable from unknown ones (404).
+// Archive endpoints are unauthenticated by design: a full commit ID is
+// an unguessable capability, and serving commits publicly is the point
+// — published results stay verifiable by anyone holding the root.
 
 // apiError is the JSON error envelope.
 type apiError struct {
@@ -54,6 +61,10 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("GET /v1/runs/{id}/results", s.withTenant(s.handleResults))
 	s.mux.HandleFunc("POST /v1/plan", s.withTenant(s.handlePlan))
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/archive/{root}", s.handleArchiveCommit)
+	s.mux.HandleFunc("GET /v1/archive/{root}/report", s.handleArchiveReport)
+	s.mux.HandleFunc("GET /v1/archive/{root}/benchmark-results.js", s.handleArchiveReportJS)
+	s.mux.HandleFunc("GET /v1/archive/{root}/chunks/{name}", s.handleArchiveChunk)
 }
 
 // ServeHTTP implements http.Handler.

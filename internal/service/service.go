@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"graphalytics/internal/archive"
 	"graphalytics/internal/core"
 	"graphalytics/internal/platforms"
 )
@@ -69,6 +70,12 @@ type Config struct {
 	// results DB and daemon-wide sinks. WithObserver and WithSink are
 	// layered per run on top of these.
 	SessionOptions []core.Option
+	// ArchiveDir, when set, opens a content-addressed run archive
+	// (internal/archive) there: every run that completes (RunDone) is
+	// sealed into one commit, the run record and final SSE event carry
+	// the commit's Merkle-chain ID, and GET /v1/archive/{root} serves
+	// the commit, its report, and its chunks for offline verification.
+	ArchiveDir string
 }
 
 // execFunc executes one run: the production implementation is one
@@ -81,6 +88,7 @@ type execFunc func(ctx context.Context, run *Run, obs core.Observer, sink core.S
 // New, serve its Handler, and stop it with Shutdown.
 type Service struct {
 	session *core.Session
+	archive *archive.Archive // nil without Config.ArchiveDir
 	mux     *http.ServeMux
 	exec    execFunc
 
@@ -137,6 +145,14 @@ func New(cfg Config) (*Service, error) {
 		runs:        make(map[string]*Run),
 	}
 	s.exec = s.runPlanExec
+	if cfg.ArchiveDir != "" {
+		arch, err := archive.Open(cfg.ArchiveDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.archive = arch
+	}
 	for _, t := range cfg.Tenants {
 		t.normalize()
 		if t.Name == "" {
@@ -167,6 +183,10 @@ func New(cfg Config) (*Service, error) {
 // uses it to pre-warm the graph store and to persist the results
 // database at shutdown.
 func (s *Service) Session() *core.Session { return s.session }
+
+// Archive returns the service's run archive (nil without
+// Config.ArchiveDir).
+func (s *Service) Archive() *archive.Archive { return s.archive }
 
 // runPlanExec is the production executor: one RunPlan batch on the
 // shared session, with the run's SSE bridge as the batch observer and
@@ -200,7 +220,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			run.state = RunCanceled
 			run.finished = time.Now()
 			run.errMsg = "canceled: service shutting down"
-			run.appendLifecycle(eventRunFinished, RunCanceled, 0)
+			run.appendLifecycle(eventRunFinished, RunCanceled, 0, "")
 			run.events.close()
 			run.results.close()
 		}

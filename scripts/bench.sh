@@ -14,6 +14,13 @@
 #   BENCHTIME  go test -benchtime      (default 3x)
 #   COUNT      go test -count          (default 1; raise for benchstat CIs)
 #   OUT        output file             (default BENCH_<date>.json)
+#   ARCHIVE_DIR  content-addressed run archive (default .archive)
+#
+# Every snapshot is first sealed into the archive (`graphalytics
+# archive commit-bench`), and BENCH_<date>.json is then *derived from
+# the archived chunk* — the archive is the single source of truth; the
+# dated file is its export. `graphalytics archive regress` diffs any
+# two archived snapshots.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +32,7 @@ BENCH=${BENCH:-'BenchmarkEngineExecute|BenchmarkPlanSharedUpload|BenchmarkRefKer
 BENCHTIME=${BENCHTIME:-3x}
 COUNT=${COUNT:-1}
 OUT=${OUT:-BENCH_$(date +%F).json}
+ARCHIVE_DIR=${ARCHIVE_DIR:-.archive}
 
 # Preflight: a tree that violates the determinism/zero-alloc/ctx-first
 # contracts produces numbers not worth snapshotting.
@@ -64,7 +72,19 @@ END {
 	printf "  ]\n}\n"
 }' <<<"$raw" >"$OUT.tmp"
 
-# Write-then-rename so a failure mid-emit can never leave a truncated
+# Seal the snapshot into the content-addressed archive: the commit
+# chains to the previous bench commit under a Merkle root, so history
+# is tamper-evident and `archive regress` can diff any two snapshots.
+commit=$(go run ./cmd/graphalytics archive commit-bench \
+	-dir "$ARCHIVE_DIR" -name "bench/$(date +%F)" -in "$OUT.tmp")
+rm "$OUT.tmp"
+
+# Derive BENCH_<date>.json from the archived chunk — not from the raw
+# emit — so the dated file is provably the archive's content, and
+# write-then-rename so a failure mid-export can never leave a truncated
 # snapshot behind under the final name.
+go run ./cmd/graphalytics archive show \
+	-dir "$ARCHIVE_DIR" -commit "$commit" -chunk bench.json >"$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
-echo "wrote $OUT"
+echo "archived as commit $commit (dir $ARCHIVE_DIR)"
+echo "wrote $OUT (exported from the archive)"
